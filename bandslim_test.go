@@ -1,0 +1,402 @@
+package bandslim
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bandslim/internal/device"
+	"bandslim/internal/nand"
+)
+
+// smallConfig keeps tests fast: a compact geometry with the real page size.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Device.Geometry = nand.Geometry{
+		Channels: 2, WaysPerChannel: 2, BlocksPerWay: 64, PagesPerBlock: 32, PageSize: 16 * 1024,
+	}
+	cfg.Device.LSM.MemTableEntries = 256
+	return cfg
+}
+
+func openSmall(t *testing.T, mutate func(*Config)) *DB {
+	t.Helper()
+	cfg := smallConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenDefaults(t *testing.T) {
+	db, err := Open(Config{Method: Adaptive, Policy: BackfillPacking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get([]byte("k"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestPutGetDeleteLifecycle(t *testing.T) {
+	db := openSmall(t, nil)
+	defer db.Close()
+	if err := db.Put([]byte("alpha"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("alpha")); err == nil {
+		t.Fatal("deleted key still readable")
+	}
+}
+
+func TestValuesAcrossSizesAndMethods(t *testing.T) {
+	for _, m := range []TransferMethod{Baseline, Piggyback, Hybrid, Adaptive} {
+		db := openSmall(t, func(c *Config) { c.Method = m })
+		for _, size := range []int{1, 8, 35, 36, 56, 100, 2048, 4096, 4096 + 32, 9000} {
+			key := []byte(fmt.Sprintf("s%d", size))
+			v := bytes.Repeat([]byte{byte(size)}, size)
+			if err := db.Put(key, v); err != nil {
+				t.Fatalf("%v Put(%d): %v", m, size, err)
+			}
+			got, err := db.Get(key)
+			if err != nil || !bytes.Equal(got, v) {
+				t.Fatalf("%v Get(%d) mismatch: %v", m, size, err)
+			}
+		}
+		db.Close()
+	}
+}
+
+func TestIterator(t *testing.T) {
+	db := openSmall(t, nil)
+	defer db.Close()
+	for i := 0; i < 25; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("it%02d", i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := db.NewIterator([]byte("it10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 25; i++ {
+		if !it.Valid() {
+			t.Fatalf("iterator died at %d: %v", i, it.Err())
+		}
+		if want := fmt.Sprintf("it%02d", i); string(it.Key()) != want {
+			t.Fatalf("key %q, want %q", it.Key(), want)
+		}
+		if it.Value()[0] != byte(i) {
+			t.Fatalf("value %v at %d", it.Value(), i)
+		}
+		it.Next()
+	}
+	if it.Valid() {
+		t.Fatal("iterator ran past the data")
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+}
+
+func TestIteratorFromStart(t *testing.T) {
+	db := openSmall(t, nil)
+	defer db.Close()
+	db.Put([]byte("a"), []byte("1"))
+	db.Put([]byte("b"), []byte("2"))
+	it, err := db.NewIterator(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for it.Valid() {
+		count++
+		it.Next()
+	}
+	if count != 2 {
+		t.Fatalf("scanned %d", count)
+	}
+}
+
+func TestClosedDBRejectsOps(t *testing.T) {
+	db := openSmall(t, nil)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+	if err := db.Put([]byte("k"), nil); err != ErrClosed {
+		t.Fatalf("Put after close: %v", err)
+	}
+	if _, err := db.Get([]byte("k")); err != ErrClosed {
+		t.Fatalf("Get after close: %v", err)
+	}
+	if err := db.Delete([]byte("k")); err != ErrClosed {
+		t.Fatalf("Delete after close: %v", err)
+	}
+	if err := db.Flush(); err != ErrClosed {
+		t.Fatalf("Flush after close: %v", err)
+	}
+	if _, err := db.NewIterator(nil); err != ErrClosed {
+		t.Fatalf("NewIterator after close: %v", err)
+	}
+}
+
+func TestFlushPersistsAndCountsNAND(t *testing.T) {
+	db := openSmall(t, nil)
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v"))
+	before := db.Stats().NANDPageWrites
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().NANDPageWrites <= before {
+		t.Fatal("Flush wrote nothing")
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	db := openSmall(t, func(c *Config) { c.Method = Piggyback })
+	defer db.Close()
+	db.Put([]byte("k1"), make([]byte, 32))
+	db.Get([]byte("k1"))
+	s := db.Stats()
+	if s.Puts != 1 || s.Gets != 1 {
+		t.Fatalf("ops %d/%d", s.Puts, s.Gets)
+	}
+	if s.Commands < 2 {
+		t.Fatalf("commands %d", s.Commands)
+	}
+	if s.WriteRespMean <= 0 || s.Elapsed <= 0 {
+		t.Fatal("timings missing")
+	}
+	if s.ThroughputKops <= 0 {
+		t.Fatal("throughput missing")
+	}
+	if s.InlineChosen != 1 {
+		t.Fatalf("InlineChosen = %d", s.InlineChosen)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestStatsAmplificationHelpers(t *testing.T) {
+	s := Stats{PCIeBytes: 4160, NANDPageWrites: 2}
+	if got := s.TrafficAmplification(32); got != 130.0 {
+		t.Fatalf("TAF = %v", got)
+	}
+	if got := s.WriteAmplification(1024, 16*1024); got != 32.0 {
+		t.Fatalf("WAF = %v", got)
+	}
+	if s.TrafficAmplification(0) != 0 || s.WriteAmplification(0, 1) != 0 {
+		t.Fatal("zero payload must report 0")
+	}
+}
+
+func TestDisableNAND(t *testing.T) {
+	db := openSmall(t, func(c *Config) { c.DisableNAND = true })
+	defer db.Close()
+	db.Put([]byte("k"), make([]byte, 100))
+	if db.Stats().NANDPageWrites != 0 {
+		t.Fatal("NAND written despite DisableNAND")
+	}
+}
+
+func TestCalibrateThresholds(t *testing.T) {
+	thr, err := CalibrateThresholds(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §3.2 result: piggybacking wins up to somewhere in [35, 128];
+	// beyond 128 B the trailing-command round trips lose.
+	if thr.Threshold1 < 35 || thr.Threshold1 > 128 {
+		t.Fatalf("Threshold1 = %d, want in [35,128]", thr.Threshold1)
+	}
+	if thr.Threshold2 < 4 || thr.Threshold2 > 4096 {
+		t.Fatalf("Threshold2 = %d", thr.Threshold2)
+	}
+	if _, err := CalibrateThresholds(0); err == nil {
+		t.Fatal("perSize=0 accepted")
+	}
+}
+
+func TestInternalsExposed(t *testing.T) {
+	db := openSmall(t, nil)
+	defer db.Close()
+	drv, dev, link := db.Internals()
+	if drv == nil || dev == nil || link == nil {
+		t.Fatal("Internals returned nil")
+	}
+	if db.Now() != 0 {
+		t.Fatal("fresh DB clock not at zero")
+	}
+}
+
+func TestCompactVLogAPI(t *testing.T) {
+	db := openSmall(t, nil)
+	defer db.Close()
+	free0 := db.VLogFreeBytes()
+	if free0 <= 0 {
+		t.Fatal("fresh DB reports no vLog space")
+	}
+	// Churn one key so dead versions pile up.
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte("churn"), bytes.Repeat([]byte{byte(i)}, 3000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.VLogFreeBytes() >= free0 {
+		t.Fatal("churn consumed no space")
+	}
+	relocated, err := db.CompactVLog(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relocated > 1 {
+		t.Fatalf("relocated %d values, want ≤1", relocated)
+	}
+	got, err := db.Get([]byte("churn"))
+	if err != nil || got[0] != 49 {
+		t.Fatalf("live value wrong after GC: %v %v", got[:1], err)
+	}
+	db.Close()
+	if _, err := db.CompactVLog(1); err != ErrClosed {
+		t.Fatalf("CompactVLog after close: %v", err)
+	}
+}
+
+func TestPipelinedConfig(t *testing.T) {
+	serial := openSmall(t, func(c *Config) { c.Method = Piggyback; c.DisableNAND = true })
+	serial.Put([]byte("k"), make([]byte, 1024))
+	sOps := serial.Stats().WriteRespMean
+	serial.Close()
+
+	pipe := openSmall(t, func(c *Config) { c.Method = Piggyback; c.DisableNAND = true; c.Pipelined = true })
+	pipe.Put([]byte("k"), make([]byte, 1024))
+	pOps := pipe.Stats().WriteRespMean
+	pipe.Close()
+
+	if pOps >= sOps/2 {
+		t.Fatalf("pipelined response %v not ≪ serial %v", pOps, sOps)
+	}
+}
+
+func TestBatcherAPI(t *testing.T) {
+	db := openSmall(t, nil)
+	defer db.Close()
+	b, err := db.NewBatcher(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := b.Put([]byte(fmt.Sprintf("bk%d", i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Batch size 4: auto-flushed, readable.
+	got, err := db.Get([]byte("bk2"))
+	if err != nil || got[0] != 2 {
+		t.Fatalf("batched record: %v %v", got, err)
+	}
+	db.Close()
+	if _, err := db.NewBatcher(4); err != ErrClosed {
+		t.Fatalf("NewBatcher after close: %v", err)
+	}
+}
+
+func TestSGLMethodAPI(t *testing.T) {
+	db := openSmall(t, func(c *Config) { c.Method = SGL })
+	defer db.Close()
+	v := bytes.Repeat([]byte{9}, 5000)
+	if err := db.Put([]byte("s"), v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Get([]byte("s"))
+	if err != nil || !bytes.Equal(got, v) {
+		t.Fatal("SGL round trip failed")
+	}
+}
+
+// The DB serializes concurrent callers; under -race this validates the
+// locking discipline.
+func TestConcurrentAccess(t *testing.T) {
+	db := openSmall(t, nil)
+	defer db.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				key := []byte(fmt.Sprintf("c%d-%d", g, i))
+				if err := db.Put(key, []byte{byte(g), byte(i)}); err != nil {
+					errs <- err
+					return
+				}
+				got, err := db.Get(key)
+				if err != nil || got[0] != byte(g) || got[1] != byte(i) {
+					errs <- fmt.Errorf("goroutine %d read mismatch: %v %v", g, got, err)
+					return
+				}
+			}
+			db.Stats()
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if db.Stats().Puts != 8*30 {
+		t.Fatalf("Puts = %d", db.Stats().Puts)
+	}
+}
+
+func TestOpenZeroDeviceConfigGetsDefaults(t *testing.T) {
+	db, err := Open(Config{Method: Baseline, Policy: Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	_, dev, _ := db.Internals()
+	if dev.Flash().Geometry() != (device.DefaultConfig()).Geometry {
+		t.Fatal("zero config did not default")
+	}
+}
+
+func TestIdentifyAPI(t *testing.T) {
+	db := openSmall(t, nil)
+	id, err := db.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Model == "" || !id.KVCommandSet {
+		t.Fatalf("identify = %+v", id)
+	}
+	if id.InlineWriteBytes != 35 || id.InlineXferBytes != 56 {
+		t.Fatalf("inline capacities %d/%d", id.InlineWriteBytes, id.InlineXferBytes)
+	}
+	db.Close()
+	if _, err := db.Identify(); err != ErrClosed {
+		t.Fatalf("Identify after close: %v", err)
+	}
+}

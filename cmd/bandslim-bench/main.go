@@ -1,0 +1,66 @@
+// Command bandslim-bench regenerates the tables and figures of the BandSlim
+// paper's evaluation (§4) on the simulated KV-SSD stack.
+//
+// Usage:
+//
+//	bandslim-bench -experiment fig8 [-scale 20000] [-seed 42] [-csv out/]
+//	bandslim-bench -experiment all
+//	bandslim-bench -list
+//
+// Each experiment prints the same rows/series the paper plots; -csv also
+// writes one CSV file per table for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bandslim/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID (see -list)")
+		scale      = flag.Int("scale", 20000, "operations per data point (paper: 1M)")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+		csvDir     = flag.String("csv", "", "directory to write per-table CSV files")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, id := range bench.Experiments() {
+			fmt.Println("  ", id)
+		}
+		return
+	}
+
+	start := time.Now()
+	tables, err := bench.Run(*experiment, bench.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Format())
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			path := filepath.Join(*csvDir, t.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+	fmt.Printf("completed %d table(s) in %v (wall clock)\n", len(tables), time.Since(start).Round(time.Millisecond))
+}

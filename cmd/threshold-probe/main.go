@@ -1,0 +1,66 @@
+// Command threshold-probe runs the exploratory calibration of §3.2/§4.1: it
+// probes PUT response times for value sizes from 4 bytes to 8 KiB under each
+// transfer method and derives the adaptive thresholds (threshold1: where
+// piggybacking stops beating PRP; threshold2: the largest over-page tail for
+// which hybrid wins).
+//
+// Usage:
+//
+//	threshold-probe [-per-size 1000] [-alpha 1.0] [-beta 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bandslim"
+)
+
+func main() {
+	var (
+		perSize = flag.Int("per-size", 1000, "PUTs per probed size")
+		alpha   = flag.Float64("alpha", 1.0, "threshold1 coefficient (traffic preference)")
+		beta    = flag.Float64("beta", 1.0, "threshold2 coefficient (traffic preference)")
+	)
+	flag.Parse()
+
+	fmt.Println("probing transfer response times (NAND disabled)...")
+	fmt.Printf("%8s  %12s  %12s  %12s\n", "size", "piggyback", "baseline", "hybrid")
+	for _, size := range []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 4096 + 32, 4096 + 512, 8192} {
+		var resp [3]float64
+		for i, m := range []bandslim.TransferMethod{bandslim.Piggyback, bandslim.Baseline, bandslim.Hybrid} {
+			cfg := bandslim.DefaultConfig()
+			cfg.Method = m
+			cfg.DisableNAND = true
+			db, err := bandslim.Open(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			v := make([]byte, size)
+			key := make([]byte, 4)
+			for j := 0; j < *perSize; j++ {
+				key[0], key[1] = byte(j>>8), byte(j)
+				if err := db.Put(key, v); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			resp[i] = db.Stats().WriteRespMean.Micros()
+			db.Close()
+		}
+		fmt.Printf("%8d  %10.2fus  %10.2fus  %10.2fus\n", size, resp[0], resp[1], resp[2])
+	}
+
+	thr, err := bandslim.CalibrateThresholds(*perSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	thr.Alpha, thr.Beta = *alpha, *beta
+	fmt.Printf("\nderived thresholds: threshold1=%dB threshold2=%dB alpha=%.2f beta=%.2f\n",
+		thr.Threshold1, thr.Threshold2, thr.Alpha, thr.Beta)
+	fmt.Printf("adaptive policy: inline ≤ %.0fB; hybrid for over-page tails ≤ %.0fB; PRP otherwise\n",
+		thr.Alpha*float64(thr.Threshold1), thr.Beta*float64(thr.Threshold2))
+}

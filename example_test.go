@@ -1,0 +1,105 @@
+package bandslim_test
+
+import (
+	"fmt"
+	"log"
+
+	"bandslim"
+)
+
+// The basic lifecycle: open the paper's headline configuration, write, read.
+func ExampleOpen() {
+	db, err := bandslim.Open(bandslim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Put([]byte("greeting"), []byte("hello, kv-ssd")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := db.Get([]byte("greeting"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(v))
+	// Output: hello, kv-ssd
+}
+
+// Range scans ride the device-side SEEK/NEXT iterator.
+func ExampleDB_NewIterator() {
+	db, err := bandslim.Open(bandslim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	for _, k := range []string{"b", "a", "c"} {
+		if err := db.Put([]byte(k), []byte("v-"+k)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	it, err := db.NewIterator(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for it.Valid() {
+		fmt.Printf("%s=%s\n", it.Key(), it.Value())
+		it.Next()
+	}
+	// Output:
+	// a=v-a
+	// b=v-b
+	// c=v-c
+}
+
+// Every byte crossing the simulated PCIe link is accounted: a 32-byte value
+// piggybacked in one NVMe command costs 64 bytes, against 4160 for the
+// page-unit baseline — the paper's headline reduction.
+func ExampleDB_Stats() {
+	cfg := bandslim.DefaultConfig()
+	cfg.Method = bandslim.Piggyback
+	cfg.DisableNAND = true
+	db, err := bandslim.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.Put([]byte("tiny"), make([]byte, 32)); err != nil {
+		log.Fatal(err)
+	}
+	s := db.Stats()
+	fmt.Printf("PCIe bytes: %d (baseline would be 4160)\n", s.PCIeBytes)
+	fmt.Printf("reduction: %.1f%%\n", 100*(1-float64(s.PCIeBytes)/4160))
+	// Output:
+	// PCIe bytes: 64 (baseline would be 4160)
+	// reduction: 98.5%
+}
+
+// Host-side batching (the Dotori/KV-CSD approach) amortizes commands at the
+// cost of a volatile window; the per-PUT path is durable on completion.
+func ExampleDB_NewBatcher() {
+	db, err := bandslim.Open(bandslim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	b, err := db.NewBatcher(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.Put([]byte("x"), []byte("1"))
+	b.Put([]byte("y"), []byte("2"))
+	fmt.Println("volatile records:", b.AtRiskOps())
+	b.Put([]byte("z"), []byte("3")) // third record triggers the bulk flush
+	fmt.Println("volatile records after flush:", b.AtRiskOps())
+
+	v, _ := db.Get([]byte("y"))
+	fmt.Println("y =", string(v))
+	// Output:
+	// volatile records: 2
+	// volatile records after flush: 0
+	// y = 2
+}

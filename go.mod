@@ -1,0 +1,3 @@
+module bandslim
+
+go 1.22

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+
+	"bandslim"
+	"bandslim/internal/device"
+	"bandslim/internal/driver"
+	"bandslim/internal/nand"
+	"bandslim/internal/pagebuf"
+	"bandslim/internal/workload"
+)
+
+// Options scale and shape an experiment run.
+type Options struct {
+	// Scale is the number of operations per data point. The paper uses
+	// 1 M (10 M for Fig. 11); the default keeps full-suite runtimes and
+	// memory sane — traffic and NAND counts scale linearly, and simulated
+	// response times are scale-invariant, so shapes are unaffected.
+	Scale int
+	// Seed feeds the workload generators.
+	Seed uint64
+}
+
+// DefaultOptions returns the default scale (20k ops per point).
+func DefaultOptions() Options { return Options{Scale: 20000, Seed: 42} }
+
+func (o Options) normalized() Options {
+	if o.Scale <= 0 {
+		o.Scale = DefaultOptions().Scale
+	}
+	return o
+}
+
+// benchGeometry keeps the real page size and Cosmos+ parallelism while
+// bounding mapping-table memory.
+func benchGeometry() nand.Geometry {
+	return nand.Geometry{
+		Channels:       4,
+		WaysPerChannel: 8,
+		BlocksPerWay:   128,
+		PagesPerBlock:  128,
+		PageSize:       16 * 1024,
+	}
+}
+
+// stack opens a fresh simulated host+device pair.
+func stack(method bandslim.TransferMethod, policy bandslim.PackingPolicy, nandOn bool) (*bandslim.DB, error) {
+	cfg := bandslim.DefaultConfig()
+	cfg.Method = method
+	cfg.Policy = policy
+	cfg.DisableNAND = !nandOn
+	dev := device.DefaultConfig()
+	dev.Geometry = benchGeometry()
+	cfg.Device = dev
+	cfg.Thresholds = driver.DefaultThresholds()
+	return bandslim.Open(cfg)
+}
+
+// runResult carries one configuration's measurements.
+type runResult struct {
+	Stats        bandslim.Stats
+	PayloadBytes int64
+	Ops          int64
+}
+
+// run feeds a workload through a fresh stack.
+func run(gen workload.Generator, method bandslim.TransferMethod, policy bandslim.PackingPolicy, nandOn bool) (runResult, error) {
+	db, err := stack(method, policy, nandOn)
+	if err != nil {
+		return runResult{}, err
+	}
+	defer db.Close()
+	var payload, ops int64
+	var buf []byte
+	filler := workload.NewValueFiller(1)
+	for {
+		op, ok := gen.Next()
+		if !ok {
+			break
+		}
+		buf = filler.Fill(buf, op.ValueSize)
+		if err := db.Put(op.Key, buf); err != nil {
+			return runResult{}, fmt.Errorf("bench: %s: put: %w", gen.Name(), err)
+		}
+		payload += int64(op.ValueSize)
+		ops++
+	}
+	// Timing metrics (response, throughput) reflect the steady-state run;
+	// the final flush below drains the open window and would skew them at
+	// reduced scale.
+	timing := db.Stats()
+	if nandOn {
+		// Count the buffered tail: the paper's NAND totals cover the whole
+		// workload, and at reduced scale the open buffer entries and
+		// MemTable are not negligible.
+		if err := db.Flush(); err != nil {
+			return runResult{}, fmt.Errorf("bench: %s: flush: %w", gen.Name(), err)
+		}
+	}
+	s := db.Stats()
+	s.WriteRespMean = timing.WriteRespMean
+	s.WriteRespP99 = timing.WriteRespP99
+	s.Elapsed = timing.Elapsed
+	s.ThroughputKops = timing.ThroughputKops
+	s.FlushWaitTime = timing.FlushWaitTime
+	s.MemcpyTime = timing.MemcpyTime
+	return runResult{Stats: s, PayloadBytes: payload, Ops: ops}, nil
+}
+
+// policyFor maps a paper packing-policy label to the pagebuf policy.
+var policyFor = map[string]bandslim.PackingPolicy{
+	"Block":    pagebuf.PolicyBlock,
+	"All":      pagebuf.PolicyAll,
+	"Select":   pagebuf.PolicySelective,
+	"Backfill": pagebuf.PolicyBackfill,
+}
+
+// workloadsBCDM builds the four mixed workloads of §4.1.
+func workloadsBCDM(o Options) []workload.Generator {
+	return []workload.Generator{
+		workload.NewWorkloadB(o.Scale, o.Seed),
+		workload.NewWorkloadC(o.Scale, o.Seed),
+		workload.NewWorkloadD(o.Scale, o.Seed),
+		workload.NewWorkloadM(o.Scale, o.Seed),
+	}
+}
+
+// workloadLabels are the paper's column names for Fig. 10/12.
+var workloadLabels = []string{"W(B)", "W(C)", "W(D)", "W(M)"}
+
+// gb converts bytes to the paper's GB-scale axis (decimal).
+func gb(n int64) float64 { return float64(n) / 1e9 }
+
+// mb converts bytes to MB.
+func mb(n int64) float64 { return float64(n) / 1e6 }

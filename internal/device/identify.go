@@ -1,0 +1,122 @@
+package device
+
+import (
+	"encoding/binary"
+
+	"bandslim/internal/nvme"
+	"bandslim/internal/sim"
+)
+
+// Identify models the NVMe admin Identify path the paper's NVMe-compatible
+// design preserves ("to keep its various utilities from device
+// identification to device management", §1). The controller returns a
+// 4 KiB identify structure into the host buffer the command's PRP
+// describes; the BandSlim-specific capabilities live in the
+// vendor-specific region.
+
+// IdentifyData is the decoded identify structure.
+type IdentifyData struct {
+	Model            string
+	Serial           string
+	CapacityBytes    int64 // raw NAND capacity
+	VLogBytes        int64 // value-log region size
+	NANDPageSize     int
+	Channels         int
+	WaysPerChannel   int
+	BufferEntries    int
+	PackingPolicy    string
+	KVCommandSet     bool
+	InlineWriteBytes int // piggyback capacity of the write command
+	InlineXferBytes  int // piggyback capacity of the transfer command
+}
+
+// identify layout offsets within the 4 KiB structure (a compact analog of
+// the NVMe Identify Controller data structure: strings up front, vendor
+// capabilities from offset 1024).
+const (
+	idOffModel     = 0   // 40 bytes, space padded
+	idOffSerial    = 40  // 20 bytes
+	idOffCapacity  = 64  // u64 raw capacity
+	idOffVLogBytes = 72  // u64
+	idOffPageSize  = 80  // u32
+	idOffChannels  = 84  // u16
+	idOffWays      = 86  // u16
+	idOffBufEnt    = 88  // u32
+	idOffPolicy    = 92  // 16 bytes, space padded
+	idOffKVFlag    = 108 // u8: bit0 = KV command set
+	idOffInlineW   = 109 // u8
+	idOffInlineX   = 110 // u8
+	identifySize   = 4096
+)
+
+const (
+	identifyModel  = "BandSlim KV-SSD (simulated Cosmos+)"
+	identifySerial = "BSLIM-SIM-0001"
+)
+
+func putPadded(dst []byte, s string) {
+	for i := range dst {
+		dst[i] = ' '
+	}
+	copy(dst, s)
+}
+
+func trimPadded(src []byte) string {
+	end := len(src)
+	for end > 0 && (src[end-1] == ' ' || src[end-1] == 0) {
+		end--
+	}
+	return string(src[:end])
+}
+
+// buildIdentify renders the structure.
+func (d *Device) buildIdentify() []byte {
+	out := make([]byte, identifySize)
+	putPadded(out[idOffModel:idOffModel+40], identifyModel)
+	putPadded(out[idOffSerial:idOffSerial+20], identifySerial)
+	geo := d.flash.Geometry()
+	binary.LittleEndian.PutUint64(out[idOffCapacity:], uint64(geo.CapacityBytes()))
+	binary.LittleEndian.PutUint64(out[idOffVLogBytes:], uint64(d.vlog.CapacityBytes()))
+	binary.LittleEndian.PutUint32(out[idOffPageSize:], uint32(geo.PageSize))
+	binary.LittleEndian.PutUint16(out[idOffChannels:], uint16(geo.Channels))
+	binary.LittleEndian.PutUint16(out[idOffWays:], uint16(geo.WaysPerChannel))
+	binary.LittleEndian.PutUint32(out[idOffBufEnt:], uint32(d.cfg.Buffer.MaxEntries))
+	putPadded(out[idOffPolicy:idOffPolicy+16], d.cfg.Buffer.Policy.String())
+	out[idOffKVFlag] = 1
+	out[idOffInlineW] = nvme.PiggybackWriteCapacity
+	out[idOffInlineX] = nvme.PiggybackTransferCapacity
+	return out
+}
+
+// ParseIdentify decodes an identify payload.
+func ParseIdentify(data []byte) IdentifyData {
+	if len(data) < identifySize {
+		padded := make([]byte, identifySize)
+		copy(padded, data)
+		data = padded
+	}
+	return IdentifyData{
+		Model:            trimPadded(data[idOffModel : idOffModel+40]),
+		Serial:           trimPadded(data[idOffSerial : idOffSerial+20]),
+		CapacityBytes:    int64(binary.LittleEndian.Uint64(data[idOffCapacity:])),
+		VLogBytes:        int64(binary.LittleEndian.Uint64(data[idOffVLogBytes:])),
+		NANDPageSize:     int(binary.LittleEndian.Uint32(data[idOffPageSize:])),
+		Channels:         int(binary.LittleEndian.Uint16(data[idOffChannels:])),
+		WaysPerChannel:   int(binary.LittleEndian.Uint16(data[idOffWays:])),
+		BufferEntries:    int(binary.LittleEndian.Uint32(data[idOffBufEnt:])),
+		PackingPolicy:    trimPadded(data[idOffPolicy : idOffPolicy+16]),
+		KVCommandSet:     data[idOffKVFlag]&1 != 0,
+		InlineWriteBytes: int(data[idOffInlineW]),
+		InlineXferBytes:  int(data[idOffInlineX]),
+	}
+}
+
+// execIdentify DMAs the identify structure to the host.
+func (d *Device) execIdentify(t sim.Time, cmd nvme.Command) (int, sim.Time, error) {
+	data := d.buildIdentify()
+	end, err := d.transferOut(t, cmd, data)
+	if err != nil {
+		return 0, t, err
+	}
+	return len(data), end, nil
+}

@@ -1,0 +1,158 @@
+// Package dma models the in-device DMA engine BandSlim must accommodate:
+// PRP-described page-unit transfers whose size and destination address are
+// required to be 4 KiB aligned (§2.5), plus a device-side memcpy cost model
+// (the ARM-class copies that the packing policies trade against NAND space).
+package dma
+
+import (
+	"fmt"
+
+	"bandslim/internal/metrics"
+	"bandslim/internal/nvme"
+	"bandslim/internal/pcie"
+	"bandslim/internal/sim"
+)
+
+// PageAligned reports whether an address or size satisfies the engine's
+// 4 KiB alignment restriction.
+func PageAligned(n int64) bool { return n%pcie.MemoryPageSize == 0 }
+
+// MemcpyModel prices device-side memory copies.
+type MemcpyModel struct {
+	// BytesPerSecond is the copy bandwidth of the device CPU
+	// (Cortex-A9-class, ~1 GB/s by default).
+	BytesPerSecond float64
+	// Fixed is the per-copy overhead.
+	Fixed sim.Duration
+}
+
+// DefaultMemcpyModel returns the calibrated device-copy costs. The in-device
+// ARM core copies slowly relative to the DMA engine (§3.3.2: "given the
+// resource constraints of storage devices, large memory copies can
+// significantly slow down operations"); 100 MB/s reproduces the Fig. 12(d)
+// memcpy-time scale.
+func DefaultMemcpyModel() MemcpyModel {
+	return MemcpyModel{BytesPerSecond: 100e6, Fixed: 200 * sim.Nanosecond}
+}
+
+// Cost reports the duration of copying n bytes.
+func (m MemcpyModel) Cost(n int) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return m.Fixed + sim.Duration(float64(n)/m.BytesPerSecond*1e9)
+}
+
+// Stats tallies engine activity.
+type Stats struct {
+	Transfers        metrics.Counter // page-unit DMA operations
+	BytesTransferred metrics.Counter // wire bytes (page multiples)
+	Memcpys          metrics.Counter
+	MemcpyBytes      metrics.Counter
+	MemcpyTime       metrics.Counter // nanoseconds of device CPU copy time
+}
+
+// Engine is the device's DMA engine. Transfers occupy the PCIe link and are
+// accounted on its ledger; copies burn simulated device-CPU time tracked in
+// Stats (the paper's Fig. 12(d) metric).
+type Engine struct {
+	link   *pcie.Link
+	memcpy MemcpyModel
+	stats  Stats
+}
+
+// NewEngine returns an engine attached to the link.
+func NewEngine(link *pcie.Link, m MemcpyModel) *Engine {
+	return &Engine{link: link, memcpy: m}
+}
+
+// Stats exposes the engine's tallies.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// TransferIn performs a host→device page-unit DMA described by a PRP list:
+// it gathers the payload from host memory, moves full pages across the link
+// (the traffic bloat of §2.3), and returns the payload plus the completion
+// time. The returned slice is padded to the page-aligned transfer size, as
+// the engine writes whole pages into device memory; the first prp.Payload
+// bytes are the value.
+func (e *Engine) TransferIn(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList) ([]byte, sim.Time, error) {
+	if prp.Payload == 0 {
+		return nil, t, nil
+	}
+	payload, err := prp.Gather(m)
+	if err != nil {
+		return nil, t, fmt.Errorf("dma: gather: %w", err)
+	}
+	size := prp.TransferSize()
+	if !PageAligned(int64(size)) {
+		return nil, t, fmt.Errorf("dma: transfer size %d not page aligned", size)
+	}
+	e.link.RecordDMA(int64(size))
+	e.stats.Transfers.Inc()
+	e.stats.BytesTransferred.Add(int64(size))
+	perPage := sim.Duration(size/pcie.MemoryPageSize) * e.link.Model.DMAPerPage
+	end := e.link.Occupy(t.Add(perPage), int64(size))
+	buf := make([]byte, size)
+	copy(buf, payload)
+	return buf, end, nil
+}
+
+// TransferInSGL performs a host→device Scatter-Gather List transfer: exact
+// payload bytes cross the link (no page-unit bloat), but the engine pays the
+// SGL setup and per-descriptor costs that make SGL a loser below ~32 KB
+// (§2.5). One descriptor per host page, as the Linux driver maps buffers.
+func (e *Engine) TransferInSGL(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList) ([]byte, sim.Time, error) {
+	if prp.Payload == 0 {
+		return nil, t, nil
+	}
+	payload, err := prp.Gather(m)
+	if err != nil {
+		return nil, t, fmt.Errorf("dma: sgl gather: %w", err)
+	}
+	segments := len(prp.Pages)
+	e.link.RecordSGLDescriptors(segments)
+	e.link.RecordDMA(int64(prp.Payload))
+	e.stats.Transfers.Inc()
+	e.stats.BytesTransferred.Add(int64(prp.Payload))
+	setup := e.link.Model.SGLSetup + sim.Duration(segments)*e.link.Model.SGLPerSegment
+	end := e.link.Occupy(t.Add(setup), int64(prp.Payload))
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, end, nil
+}
+
+// TransferOut performs a device→host page-unit DMA (reads): data is
+// scattered into the PRP list's pages, full pages cross the link, and the
+// completion time is returned.
+func (e *Engine) TransferOut(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList, data []byte) (sim.Time, error) {
+	if len(data) == 0 {
+		return t, nil
+	}
+	if err := prp.Scatter(m, data); err != nil {
+		return t, fmt.Errorf("dma: scatter: %w", err)
+	}
+	size := int64(prp.TransferSize())
+	e.link.RecordDMA(size)
+	e.stats.Transfers.Inc()
+	e.stats.BytesTransferred.Add(size)
+	perPage := sim.Duration(size/pcie.MemoryPageSize) * e.link.Model.DMAPerPage
+	end := e.link.Occupy(t.Add(perPage), size)
+	return end, nil
+}
+
+// Memcpy accounts for a device-side copy of n bytes and returns its
+// completion time.
+func (e *Engine) Memcpy(t sim.Time, n int) sim.Time {
+	if n <= 0 {
+		return t
+	}
+	d := e.memcpy.Cost(n)
+	e.stats.Memcpys.Inc()
+	e.stats.MemcpyBytes.Add(int64(n))
+	e.stats.MemcpyTime.Add(int64(d))
+	return t.Add(d)
+}
+
+// MemcpyCost exposes the copy price without performing one (used by packing
+// policies for planning).
+func (e *Engine) MemcpyCost(n int) sim.Duration { return e.memcpy.Cost(n) }

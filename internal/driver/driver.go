@@ -1,0 +1,645 @@
+// Package driver implements the BandSlim Key-Value Driver (§3.1–3.2): the
+// host-side component that chooses a transfer strategy per value (PRP-based
+// page-unit DMA, NVMe-command piggybacking, hybrid, or the threshold-based
+// adaptive method), builds commands, rings doorbells, and performs the
+// synchronous passthrough round trips the paper's testbed uses (one command
+// outstanding at a time).
+package driver
+
+import (
+	"fmt"
+
+	"bandslim/internal/device"
+	"bandslim/internal/metrics"
+	"bandslim/internal/nvme"
+	"bandslim/internal/pcie"
+	"bandslim/internal/sim"
+)
+
+// Method selects the value-transfer strategy.
+type Method int
+
+// The transfer methods evaluated in §4.2.
+const (
+	// MethodBaseline transfers every value via PRP page-unit DMA.
+	MethodBaseline Method = iota
+	// MethodPiggyback transfers every value inline in NVMe commands.
+	MethodPiggyback
+	// MethodHybrid sends the page-aligned head by DMA and the tail inline.
+	MethodHybrid
+	// MethodAdaptive picks per value using the thresholds.
+	MethodAdaptive
+	// MethodSGL transfers every value via Scatter-Gather List — the §2.5
+	// comparator that moves exact bytes but pays a setup cost that only
+	// amortizes above ~32 KB (the Linux sgl_threshold).
+	MethodSGL
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodBaseline:
+		return "Baseline"
+	case MethodPiggyback:
+		return "Piggyback"
+	case MethodHybrid:
+		return "Hybrid"
+	case MethodAdaptive:
+		return "Adaptive"
+	case MethodSGL:
+		return "SGL"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ParseMethod converts a method name back to a Method.
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "Baseline", "baseline", "prp":
+		return MethodBaseline, nil
+	case "Piggyback", "piggyback":
+		return MethodPiggyback, nil
+	case "Hybrid", "hybrid":
+		return MethodHybrid, nil
+	case "Adaptive", "adaptive":
+		return MethodAdaptive, nil
+	case "SGL", "sgl":
+		return MethodSGL, nil
+	}
+	return 0, fmt.Errorf("driver: unknown method %q", s)
+}
+
+// Thresholds hold the adaptive method's calibration (§3.2): values at or
+// below Alpha·Threshold1 go inline; over-page values whose tail is at or
+// below Beta·Threshold2 go hybrid; everything else goes PRP.
+type Thresholds struct {
+	Threshold1 int
+	Threshold2 int
+	Alpha      float64
+	Beta       float64
+}
+
+// DefaultThresholds returns the paper's settings: the piggyback→DMA switch
+// at 128 bytes (from the Fig. 8 response curve) with α = β = 1.
+func DefaultThresholds() Thresholds {
+	return Thresholds{Threshold1: 128, Threshold2: 64, Alpha: 1, Beta: 1}
+}
+
+// Stats tallies host-side activity.
+type Stats struct {
+	Puts           metrics.Counter
+	Gets           metrics.Counter
+	Deletes        metrics.Counter
+	Scans          metrics.Counter
+	InlineChosen   metrics.Counter
+	PRPChosen      metrics.Counter
+	HybridChosen   metrics.Counter
+	WriteResponse  *metrics.Histogram // ns per PUT
+	ReadResponse   *metrics.Histogram // ns per GET
+	CommandsIssued metrics.Counter
+}
+
+// Driver is the host-side key-value driver bound to one device.
+type Driver struct {
+	clock *sim.Clock
+	link  *pcie.Link
+	mem   *nvme.HostMemory
+	dev   *device.Device
+	// pipelined lifts the passthrough serialization: the commands of one
+	// PUT are submitted as a burst with a single doorbell, so trailing
+	// transfer commands pay only a fetch/parse interval instead of a full
+	// round trip each. This is the what-if the paper's §4.2 points at when
+	// it blames "synchronous and serialized" submission for piggybacking's
+	// large-value collapse.
+	pipelined bool
+	method    Method
+	thr       Thresholds
+	nextID    uint16
+	stats     Stats
+}
+
+// New binds a driver to a device sharing the same clock, link and host
+// memory arena.
+func New(clock *sim.Clock, link *pcie.Link, mem *nvme.HostMemory, dev *device.Device, method Method, thr Thresholds) *Driver {
+	return &Driver{
+		clock:  clock,
+		link:   link,
+		mem:    mem,
+		dev:    dev,
+		method: method,
+		thr:    thr,
+		stats: Stats{
+			WriteResponse: metrics.NewHistogram(),
+			ReadResponse:  metrics.NewHistogram(),
+		},
+	}
+}
+
+// Stats exposes the driver tallies.
+func (d *Driver) Stats() *Stats { return &d.stats }
+
+// Method reports the configured transfer method.
+func (d *Driver) Method() Method { return d.method }
+
+// SetMethod switches the transfer method (between benchmark phases).
+func (d *Driver) SetMethod(m Method) { d.method = m }
+
+// Thresholds reports the adaptive calibration.
+func (d *Driver) Thresholds() Thresholds { return d.thr }
+
+// SetThresholds replaces the adaptive calibration.
+func (d *Driver) SetThresholds(t Thresholds) { d.thr = t }
+
+// SetPipelined toggles burst submission of multi-command PUTs (default off,
+// matching the paper's serialized passthrough testbed).
+func (d *Driver) SetPipelined(on bool) { d.pipelined = on }
+
+// Pipelined reports whether burst submission is enabled.
+func (d *Driver) Pipelined() bool { return d.pipelined }
+
+// Now reports the simulated time.
+func (d *Driver) Now() sim.Time { return d.clock.Now() }
+
+// choose picks the transfer mode for one value size.
+func (d *Driver) choose(size int) nvme.TransferMode {
+	switch d.method {
+	case MethodBaseline:
+		return nvme.ModePRP
+	case MethodPiggyback:
+		return nvme.ModeInline
+	case MethodHybrid:
+		if size >= pcie.MemoryPageSize && size%pcie.MemoryPageSize != 0 {
+			return nvme.ModeHybrid
+		}
+		if size < pcie.MemoryPageSize {
+			return nvme.ModeInline
+		}
+		return nvme.ModePRP
+	case MethodAdaptive:
+		if float64(size) <= d.thr.Alpha*float64(d.thr.Threshold1) {
+			return nvme.ModeInline
+		}
+		if size > pcie.MemoryPageSize {
+			tail := size % pcie.MemoryPageSize
+			if tail != 0 && float64(tail) <= d.thr.Beta*float64(d.thr.Threshold2) {
+				return nvme.ModeHybrid
+			}
+		}
+		return nvme.ModePRP
+	case MethodSGL:
+		return nvme.ModeSGL
+	default:
+		return nvme.ModePRP
+	}
+}
+
+// submit pushes one command through the full synchronous round trip: SQ
+// push, SQ doorbell, device processing, completion reap, CQ doorbell. It
+// returns the completion. The clock advances to the response time.
+func (d *Driver) submit(cmd nvme.Command) (nvme.Completion, error) {
+	t0 := d.clock.Now()
+	if err := d.dev.Queues().SQ.Push(cmd); err != nil {
+		return nvme.Completion{}, err
+	}
+	d.dev.Queues().SQ.RingDoorbell()
+	d.link.RecordDoorbell()
+	d.stats.CommandsIssued.Inc()
+	devEnd, err := d.dev.ProcessPending(t0)
+	if err != nil {
+		return nvme.Completion{}, err
+	}
+	comp, err := d.dev.Queues().CQ.Reap()
+	if err != nil {
+		return nvme.Completion{}, fmt.Errorf("driver: no completion: %w", err)
+	}
+	d.dev.Queues().CQ.RingDoorbell()
+	d.link.RecordDoorbell()
+	// The passthrough round trip serializes on top of the device work.
+	d.clock.AdvanceTo(devEnd.Add(d.link.Model.CommandRoundTrip))
+	return comp, nil
+}
+
+// submitBurst pushes a group of commands with one SQ doorbell, lets the
+// device drain them, then reaps every completion with one CQ doorbell. The
+// burst costs one round trip plus a per-command pipeline interval. Bursts
+// larger than the queue are split transparently.
+func (d *Driver) submitBurst(cmds []nvme.Command) ([]nvme.Completion, error) {
+	var out []nvme.Completion
+	maxBurst := d.dev.Queues().SQ.Size() - 1
+	for len(cmds) > 0 {
+		n := len(cmds)
+		if n > maxBurst {
+			n = maxBurst
+		}
+		chunk := cmds[:n]
+		cmds = cmds[n:]
+		t0 := d.clock.Now()
+		for _, c := range chunk {
+			if err := d.dev.Queues().SQ.Push(c); err != nil {
+				return nil, err
+			}
+			d.stats.CommandsIssued.Inc()
+		}
+		d.dev.Queues().SQ.RingDoorbell()
+		d.link.RecordDoorbell()
+		devEnd, err := d.dev.ProcessPending(t0)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			comp, err := d.dev.Queues().CQ.Reap()
+			if err != nil {
+				return nil, fmt.Errorf("driver: burst completion %d: %w", i, err)
+			}
+			out = append(out, comp)
+		}
+		d.dev.Queues().CQ.RingDoorbell()
+		d.link.RecordDoorbell()
+		cost := d.link.Model.CommandRoundTrip +
+			sim.Duration(n-1)*d.link.Model.PipelineInterval
+		end := t0.Add(cost)
+		if devEnd.Add(d.link.Model.CommandRoundTrip) > end {
+			end = devEnd.Add(d.link.Model.CommandRoundTrip)
+		}
+		d.clock.AdvanceTo(end)
+	}
+	return out, nil
+}
+
+func (d *Driver) allocID() uint16 {
+	d.nextID++
+	return d.nextID
+}
+
+// Put writes one key-value pair, choosing the transfer strategy per the
+// configured method, and records the response time.
+func (d *Driver) Put(key, value []byte) error {
+	start := d.clock.Now()
+	mode := d.choose(len(value))
+	var err error
+	switch mode {
+	case nvme.ModePRP:
+		d.stats.PRPChosen.Inc()
+		err = d.putPRP(key, value)
+	case nvme.ModeInline:
+		d.stats.InlineChosen.Inc()
+		err = d.putInline(key, value)
+	case nvme.ModeHybrid:
+		d.stats.HybridChosen.Inc()
+		err = d.putHybrid(key, value)
+	case nvme.ModeSGL:
+		d.stats.PRPChosen.Inc() // SGL is a DMA-class choice in the ledger
+		err = d.putSGL(key, value)
+	}
+	if err != nil {
+		return err
+	}
+	d.stats.Puts.Inc()
+	d.stats.WriteResponse.Observe(float64(d.clock.Now().Sub(start)))
+	return nil
+}
+
+// putPRP stages the value in host pages and sends one write command whose
+// PRP fields describe them.
+func (d *Driver) putPRP(key, value []byte) error {
+	prp, err := nvme.BuildPRP(d.mem, value)
+	if err != nil {
+		return err
+	}
+	defer prp.Free(d.mem)
+	var cmd nvme.Command
+	cmd.SetOpcode(nvme.OpKVWrite)
+	cmd.SetTransferMode(nvme.ModePRP)
+	cmd.SetCommandID(d.allocID())
+	if err := cmd.SetKey(key); err != nil {
+		return err
+	}
+	cmd.SetValueSize(uint32(len(value)))
+	if len(prp.Pages) > 0 {
+		cmd.SetPRP1(prp.Pages[0])
+		if len(prp.Pages) > 1 {
+			cmd.SetPRP2(prp.Pages[1])
+		}
+	}
+	comp, err := d.submit(cmd)
+	if err != nil {
+		return err
+	}
+	return comp.Status.Err()
+}
+
+// putSGL stages the value in host pages and sends one write command whose
+// pages the device walks as SGL segments.
+func (d *Driver) putSGL(key, value []byte) error {
+	prp, err := nvme.BuildPRP(d.mem, value)
+	if err != nil {
+		return err
+	}
+	defer prp.Free(d.mem)
+	var cmd nvme.Command
+	cmd.SetOpcode(nvme.OpKVWrite)
+	cmd.SetTransferMode(nvme.ModeSGL)
+	cmd.SetCommandID(d.allocID())
+	if err := cmd.SetKey(key); err != nil {
+		return err
+	}
+	cmd.SetValueSize(uint32(len(value)))
+	if len(prp.Pages) > 0 {
+		cmd.SetPRP1(prp.Pages[0])
+	}
+	comp, err := d.submit(cmd)
+	if err != nil {
+		return err
+	}
+	return comp.Status.Err()
+}
+
+// putInline ships the value entirely in command fields: one write command
+// plus trailing transfer commands in 56-byte increments (§3.2).
+func (d *Driver) putInline(key, value []byte) error {
+	var cmd nvme.Command
+	cmd.SetOpcode(nvme.OpKVWrite)
+	cmd.SetTransferMode(nvme.ModeInline)
+	cmd.SetCommandID(d.allocID())
+	if err := cmd.SetKey(key); err != nil {
+		return err
+	}
+	cmd.SetValueSize(uint32(len(value)))
+	n := cmd.SetWritePiggyback(value)
+	if d.pipelined {
+		cmds := append([]nvme.Command{cmd}, d.tailCommands(value[n:])...)
+		comps, err := d.submitBurst(cmds)
+		if err != nil {
+			return err
+		}
+		for _, comp := range comps {
+			if err := comp.Status.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	comp, err := d.submit(cmd)
+	if err != nil {
+		return err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return err
+	}
+	return d.sendTail(value[n:])
+}
+
+// putHybrid DMAs the page-aligned head and piggybacks the tail.
+func (d *Driver) putHybrid(key, value []byte) error {
+	dmaPart := len(value) / pcie.MemoryPageSize * pcie.MemoryPageSize
+	if dmaPart == 0 {
+		return d.putInline(key, value)
+	}
+	prp, err := nvme.BuildPRP(d.mem, value[:dmaPart])
+	if err != nil {
+		return err
+	}
+	defer prp.Free(d.mem)
+	var cmd nvme.Command
+	cmd.SetOpcode(nvme.OpKVWrite)
+	cmd.SetTransferMode(nvme.ModeHybrid)
+	cmd.SetCommandID(d.allocID())
+	if err := cmd.SetKey(key); err != nil {
+		return err
+	}
+	cmd.SetValueSize(uint32(len(value)))
+	cmd.SetPRP1(prp.Pages[0])
+	if len(prp.Pages) > 1 {
+		cmd.SetPRP2(prp.Pages[1])
+	}
+	comp, err := d.submit(cmd)
+	if err != nil {
+		return err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return err
+	}
+	return d.sendTail(value[dmaPart:])
+}
+
+// tailCommands builds the trailing transfer commands for the remaining
+// value bytes.
+func (d *Driver) tailCommands(rest []byte) []nvme.Command {
+	var cmds []nvme.Command
+	for len(rest) > 0 {
+		var tr nvme.Command
+		tr.SetOpcode(nvme.OpKVTransfer)
+		tr.SetTransferMode(nvme.ModeInline)
+		tr.SetCommandID(d.allocID())
+		k := tr.SetTransferPiggyback(rest)
+		cmds = append(cmds, tr)
+		rest = rest[k:]
+	}
+	return cmds
+}
+
+// sendTail streams the remaining value bytes in transfer commands — one
+// synchronous round trip each under the paper's passthrough, or a single
+// burst when pipelining is enabled.
+func (d *Driver) sendTail(rest []byte) error {
+	cmds := d.tailCommands(rest)
+	if d.pipelined {
+		comps, err := d.submitBurst(cmds)
+		if err != nil {
+			return err
+		}
+		for _, comp := range comps {
+			if err := comp.Status.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, tr := range cmds {
+		comp, err := d.submit(tr)
+		if err != nil {
+			return err
+		}
+		if err := comp.Status.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxValueSize bounds the read buffer the driver stages for GETs.
+const MaxValueSize = 64 * 1024
+
+// Get reads the value for key.
+func (d *Driver) Get(key []byte) ([]byte, error) {
+	start := d.clock.Now()
+	prp, err := nvme.BuildPRP(d.mem, make([]byte, MaxValueSize))
+	if err != nil {
+		return nil, err
+	}
+	defer prp.Free(d.mem)
+	var cmd nvme.Command
+	cmd.SetOpcode(nvme.OpKVRead)
+	cmd.SetCommandID(d.allocID())
+	if err := cmd.SetKey(key); err != nil {
+		return nil, err
+	}
+	cmd.SetPRP1(prp.Pages[0])
+	if len(prp.Pages) > 1 {
+		cmd.SetPRP2(prp.Pages[1])
+	}
+	comp, err := d.submit(cmd)
+	if err != nil {
+		return nil, err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return nil, err
+	}
+	n := int(comp.Result)
+	data, err := prp.Gather(d.mem)
+	if err != nil {
+		return nil, err
+	}
+	d.stats.Gets.Inc()
+	d.stats.ReadResponse.Observe(float64(d.clock.Now().Sub(start)))
+	return data[:n], nil
+}
+
+// Delete removes a key.
+func (d *Driver) Delete(key []byte) error {
+	var cmd nvme.Command
+	cmd.SetOpcode(nvme.OpKVDelete)
+	cmd.SetCommandID(d.allocID())
+	if err := cmd.SetKey(key); err != nil {
+		return err
+	}
+	comp, err := d.submit(cmd)
+	if err != nil {
+		return err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return err
+	}
+	d.stats.Deletes.Inc()
+	return nil
+}
+
+// Seek positions the device-side iterator at the first key >= start.
+func (d *Driver) Seek(start []byte) error {
+	var cmd nvme.Command
+	cmd.SetOpcode(nvme.OpKVSeek)
+	cmd.SetCommandID(d.allocID())
+	if err := cmd.SetKey(start); err != nil {
+		return err
+	}
+	comp, err := d.submit(cmd)
+	if err != nil {
+		return err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return err
+	}
+	d.stats.Scans.Inc()
+	return nil
+}
+
+// ErrIterDone reports an exhausted device-side iterator.
+var ErrIterDone = fmt.Errorf("driver: iterator exhausted")
+
+// Next returns the device iterator's current pair and advances it.
+func (d *Driver) Next() (key, value []byte, err error) {
+	prp, err := nvme.BuildPRP(d.mem, make([]byte, MaxValueSize))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer prp.Free(d.mem)
+	var cmd nvme.Command
+	cmd.SetOpcode(nvme.OpKVNext)
+	cmd.SetCommandID(d.allocID())
+	cmd.SetPRP1(prp.Pages[0])
+	comp, err := d.submit(cmd)
+	if err != nil {
+		return nil, nil, err
+	}
+	if comp.Status == nvme.StatusIterEnd {
+		return nil, nil, ErrIterDone
+	}
+	if err := comp.Status.Err(); err != nil {
+		return nil, nil, err
+	}
+	data, err := prp.Gather(d.mem)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := int(comp.Result)
+	if n < 1 || n > len(data) {
+		return nil, nil, fmt.Errorf("driver: bad NEXT payload size %d", n)
+	}
+	kl := int(data[0])
+	if 1+kl > n {
+		return nil, nil, fmt.Errorf("driver: corrupt NEXT payload")
+	}
+	key = append([]byte(nil), data[1:1+kl]...)
+	value = append([]byte(nil), data[1+kl:n]...)
+	return key, value, nil
+}
+
+// Flush forces buffered state to NAND.
+func (d *Driver) Flush() error {
+	var cmd nvme.Command
+	cmd.SetOpcode(nvme.OpKVFlush)
+	cmd.SetCommandID(d.allocID())
+	comp, err := d.submit(cmd)
+	if err != nil {
+		return err
+	}
+	return comp.Status.Err()
+}
+
+// Identify fetches the controller's identify structure — model, capacity,
+// geometry, and the BandSlim capability fields (inline transfer capacities,
+// active packing policy).
+func (d *Driver) Identify() (device.IdentifyData, error) {
+	prp, err := nvme.BuildPRP(d.mem, make([]byte, 4096))
+	if err != nil {
+		return device.IdentifyData{}, err
+	}
+	defer prp.Free(d.mem)
+	var cmd nvme.Command
+	cmd.SetOpcode(nvme.OpAdminIdentify)
+	cmd.SetCommandID(d.allocID())
+	cmd.SetPRP1(prp.Pages[0])
+	comp, err := d.submit(cmd)
+	if err != nil {
+		return device.IdentifyData{}, err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return device.IdentifyData{}, err
+	}
+	data, err := prp.Gather(d.mem)
+	if err != nil {
+		return device.IdentifyData{}, err
+	}
+	return device.ParseIdentify(data), nil
+}
+
+// CompactVLog asks the device to garbage-collect the oldest `pages` value-
+// log pages (WiscKey-style: live values relocate to the head, dead space is
+// reclaimed). It reports how many values were relocated.
+func (d *Driver) CompactVLog(pages int) (int, error) {
+	if pages <= 0 {
+		return 0, fmt.Errorf("driver: pages must be positive")
+	}
+	var cmd nvme.Command
+	cmd.SetOpcode(nvme.OpKVCompact)
+	cmd.SetCommandID(d.allocID())
+	cmd.SetValueSize(uint32(pages))
+	comp, err := d.submit(cmd)
+	if err != nil {
+		return 0, err
+	}
+	if err := comp.Status.Err(); err != nil {
+		return 0, err
+	}
+	return int(comp.Result), nil
+}

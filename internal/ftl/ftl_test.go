@@ -1,0 +1,302 @@
+package ftl
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"bandslim/internal/nand"
+	"bandslim/internal/sim"
+)
+
+func smallFlash(t *testing.T) *nand.Array {
+	t.Helper()
+	geo := nand.Geometry{Channels: 2, WaysPerChannel: 2, BlocksPerWay: 8, PagesPerBlock: 8, PageSize: 4096}
+	a, err := nand.New(geo, nand.DefaultLatency(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func newFTL(t *testing.T) *FTL {
+	t.Helper()
+	f, err := New(smallFlash(t), Config{OverprovisionPct: 25, GCFreeBlockLow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	fl := smallFlash(t)
+	if _, err := New(fl, Config{OverprovisionPct: 0, GCFreeBlockLow: 2}); err == nil {
+		t.Fatal("0% OP accepted")
+	}
+	if _, err := New(fl, Config{OverprovisionPct: 60, GCFreeBlockLow: 2}); err == nil {
+		t.Fatal("60% OP accepted")
+	}
+	if _, err := New(fl, Config{OverprovisionPct: 10, GCFreeBlockLow: 0}); err == nil {
+		t.Fatal("GCFreeBlockLow=0 accepted")
+	}
+	if _, err := New(fl, DefaultConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestLogicalCapacityReflectsOverprovision(t *testing.T) {
+	f := newFTL(t)
+	// 2*2*8*8 = 256 physical pages, 25% OP -> 192 logical.
+	if got := f.LogicalPages(); got != 192 {
+		t.Fatalf("LogicalPages = %d, want 192", got)
+	}
+	if f.PageSize() != 4096 {
+		t.Fatalf("PageSize = %d", f.PageSize())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := newFTL(t)
+	data := bytes.Repeat([]byte{0x5A}, 4096)
+	if _, err := f.Write(0, 10, data); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := f.Read(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-back mismatch")
+	}
+}
+
+func TestUnmappedReadsZero(t *testing.T) {
+	f := newFTL(t)
+	got, _, err := f.Read(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unmapped page read non-zero")
+		}
+	}
+}
+
+func TestOutOfRangeOps(t *testing.T) {
+	f := newFTL(t)
+	if _, err := f.Write(0, -1, nil); err == nil {
+		t.Fatal("negative lpn accepted")
+	}
+	if _, err := f.Write(0, f.LogicalPages(), nil); err == nil {
+		t.Fatal("lpn == capacity accepted")
+	}
+	if _, _, err := f.Read(0, -1); err == nil {
+		t.Fatal("negative read accepted")
+	}
+	if err := f.Trim(99999); err == nil {
+		t.Fatal("out-of-range trim accepted")
+	}
+}
+
+func TestOverwriteRemapsOutOfPlace(t *testing.T) {
+	f := newFTL(t)
+	f.Write(0, 3, []byte{1})
+	f.Write(0, 3, []byte{2})
+	got, _, err := f.Read(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("after overwrite, read %d", got[0])
+	}
+	if f.Stats().MapUpdates.Value() != 2 {
+		t.Fatalf("MapUpdates = %d", f.Stats().MapUpdates.Value())
+	}
+}
+
+func TestTrimThenReadZero(t *testing.T) {
+	f := newFTL(t)
+	f.Write(0, 7, []byte{9})
+	if err := f.Trim(7); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := f.Read(0, 7)
+	if got[0] != 0 {
+		t.Fatal("trimmed page still readable")
+	}
+	// Trimming an unmapped page is a no-op.
+	if err := f.Trim(7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritesStripeAcrossWays(t *testing.T) {
+	f := newFTL(t)
+	for i := 0; i < 4; i++ {
+		if _, err := f.Write(0, i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 4 writes over 4 ways: each way consumed exactly one active block.
+	for w, free := range f.FreeBlocks() {
+		if free != 7 {
+			t.Fatalf("way %d free blocks = %d, want 7", w, free)
+		}
+	}
+}
+
+func TestGCReclaimsOverwrittenSpace(t *testing.T) {
+	f := newFTL(t)
+	// Hammer one logical page far beyond physical block capacity; GC must
+	// keep reclaiming the dead versions or allocation would fail.
+	for i := 0; i < 2000; i++ {
+		if _, err := f.Write(0, 0, []byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if f.Stats().GCErases.Value() == 0 {
+		t.Fatal("GC never ran")
+	}
+	got, _, err := f.Read(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != byte(1999%256) {
+		t.Fatalf("latest value lost: %d", got[0])
+	}
+}
+
+func TestGCPreservesLiveData(t *testing.T) {
+	f := newFTL(t)
+	n := f.LogicalPages()
+	// Fill the whole logical space so every block holds live data.
+	for i := 0; i < n; i++ {
+		if _, err := f.Write(0, i, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn every 4th page so victim blocks mix live and dead pages and GC
+	// must migrate the live ones.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < n; i += 4 {
+			if _, err := f.Write(0, i, []byte{byte(i), byte(i >> 8)}); err != nil {
+				t.Fatalf("churn round %d page %d: %v", round, i, err)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, _, err := f.Read(0, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) || got[1] != byte(i>>8) {
+			t.Fatalf("page %d corrupted by GC: %x", i, got[:2])
+		}
+	}
+	if f.Stats().GCWrites.Value() == 0 {
+		t.Fatal("expected GC migrations")
+	}
+}
+
+func TestFaultRetryDuringWrite(t *testing.T) {
+	fl := smallFlash(t)
+	fl.SetFaultEvery(5)
+	f, err := New(fl, Config{OverprovisionPct: 25, GCFreeBlockLow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := f.Write(0, i%4, []byte{byte(i)}); err != nil {
+			t.Fatalf("write %d under fault injection: %v", i, err)
+		}
+	}
+	if f.Stats().ProgramFaults.Value() == 0 {
+		t.Fatal("no faults recorded despite injection")
+	}
+	got, _, _ := f.Read(0, 3)
+	if got[0] != 19 {
+		t.Fatalf("value after retries: %d", got[0])
+	}
+}
+
+// nandBlock builds a BlockAddr for way w, block b.
+func nandBlock(w int, geo nand.Geometry, b int) nand.BlockAddr {
+	return nand.BlockAddr{Channel: w / geo.WaysPerChannel, Way: w % geo.WaysPerChannel, Block: b}
+}
+
+// Wear-aware GC spreads erases: after heavy single-page churn, the gap
+// between the most- and least-worn blocks stays small relative to total
+// erase activity.
+func TestGCWearSpreadBounded(t *testing.T) {
+	fl := smallFlash(t)
+	f, err := New(fl, Config{OverprovisionPct: 25, GCFreeBlockLow: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if _, err := f.Write(0, i%4, []byte{byte(i)}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if f.Stats().GCErases.Value() < 100 {
+		t.Fatalf("only %d erases; churn too light", f.Stats().GCErases.Value())
+	}
+	// Collect wear across every block of way 0.
+	geo := fl.Geometry()
+	minW, maxW := 1<<30, 0
+	for b := 0; b < geo.BlocksPerWay; b++ {
+		w, err := fl.EraseCount(nandBlock(0, geo, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW == 0 {
+		t.Fatal("no erases on way 0")
+	}
+	// With wear-aware tie-breaking the spread stays within a small
+	// multiple of the mean; a pathological policy concentrates all erases
+	// on one block (spread ≈ max).
+	if maxW-minW > maxW/2+2 {
+		t.Fatalf("wear spread %d..%d too wide", minW, maxW)
+	}
+}
+
+// Property: a random sequence of writes over a small logical space always
+// leaves every page readable with its most recent contents, regardless of
+// how much GC ran.
+func TestRandomWritesConsistencyProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		fl := smallFlash(t)
+		ftl, err := New(fl, Config{OverprovisionPct: 25, GCFreeBlockLow: 2})
+		if err != nil {
+			return false
+		}
+		const space = 16
+		want := make(map[int]byte)
+		for i, op := range ops {
+			lpn := int(op) % space
+			val := byte(i)
+			if _, err := ftl.Write(0, lpn, []byte{val}); err != nil {
+				return false
+			}
+			want[lpn] = val
+		}
+		for lpn, val := range want {
+			got, _, err := ftl.Read(0, lpn)
+			if err != nil || got[0] != val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package lsm
+
+import (
+	"bytes"
+
+	"bandslim/internal/sim"
+)
+
+// Iterator is a merged, key-ordered view over the MemTable and every level,
+// backing the device-side SEEK/NEXT interface (the iterator-extended KV-SSD
+// of [22] the paper builds on). Duplicate keys resolve newest-first and
+// tombstoned keys are skipped.
+//
+// The iterator is a snapshot of the tree at Seek time; concurrent mutation
+// invalidates it (the device serializes commands, so this cannot happen
+// in normal operation).
+type Iterator struct {
+	tree    *Tree
+	sources []*iterSource
+	current Entry
+	valid   bool
+	end     sim.Time
+	err     error
+}
+
+// iterSource walks one table or the memtable. prio: lower = newer.
+type iterSource struct {
+	prio    int
+	mem     *MemIterator
+	table   *SSTable
+	pageIdx int
+	entries []Entry
+	pos     int
+	done    bool
+	cur     Entry
+	hasCur  bool
+}
+
+// Seek returns an iterator positioned at the first live key >= start.
+// NAND reads performed while positioning are reflected in End().
+func (tr *Tree) Seek(t sim.Time, start []byte) (*Iterator, error) {
+	it := &Iterator{tree: tr, end: t}
+	prio := 0
+	mi := tr.mem.Iterator()
+	mi.Seek(tr.mem, start)
+	it.sources = append(it.sources, &iterSource{prio: prio, mem: mi})
+	prio++
+	for lvl := 0; lvl < len(tr.levels); lvl++ {
+		for _, table := range tr.levels[lvl] {
+			if bytes.Compare(table.largest, start) < 0 {
+				continue
+			}
+			src := &iterSource{prio: prio, table: table}
+			src.seekTable(start)
+			it.sources = append(it.sources, src)
+			prio++
+		}
+	}
+	for _, s := range it.sources {
+		if err := s.advance(it, t); err != nil {
+			return nil, err
+		}
+	}
+	it.step(t, start)
+	return it, it.err
+}
+
+// seekTable positions a table source at the first page that may hold start.
+func (s *iterSource) seekTable(start []byte) {
+	pi := s.table.pageForKey(start)
+	if pi < 0 {
+		pi = 0
+	}
+	s.pageIdx = pi
+}
+
+// advance loads the source's next entry into cur.
+func (s *iterSource) advance(it *Iterator, t sim.Time) error {
+	if s.done {
+		s.hasCur = false
+		return nil
+	}
+	if s.mem != nil {
+		if s.mem.Next() {
+			s.cur = s.mem.Entry()
+			s.hasCur = true
+		} else {
+			s.done = true
+			s.hasCur = false
+		}
+		return nil
+	}
+	for {
+		if s.pos < len(s.entries) {
+			s.cur = s.entries[s.pos]
+			s.pos++
+			s.hasCur = true
+			return nil
+		}
+		if s.pageIdx >= len(s.table.pages) {
+			s.done = true
+			s.hasCur = false
+			return nil
+		}
+		data, end, err := it.tree.store.ReadPage(t, s.table.pages[s.pageIdx])
+		if err != nil {
+			return err
+		}
+		it.tree.stats.PageReadsServed.Inc()
+		if end > it.end {
+			it.end = end
+		}
+		s.pageIdx++
+		s.entries, err = decodePage(data)
+		if err != nil {
+			return err
+		}
+		s.pos = 0
+	}
+}
+
+// step advances the merged view to the first live key >= floor (exclusive of
+// keys < floor; inclusive of floor itself).
+func (it *Iterator) step(t sim.Time, floor []byte) {
+	for {
+		// Drain every source past keys below the floor.
+		if floor != nil {
+			for _, s := range it.sources {
+				for s.hasCur && bytes.Compare(s.cur.Key, floor) < 0 {
+					if err := s.advance(it, t); err != nil {
+						it.err = err
+						it.valid = false
+						return
+					}
+				}
+			}
+		}
+		best := -1
+		for i, s := range it.sources {
+			if !s.hasCur {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			c := bytes.Compare(s.cur.Key, it.sources[best].cur.Key)
+			if c < 0 || (c == 0 && s.prio < it.sources[best].prio) {
+				best = i
+			}
+		}
+		if best < 0 {
+			it.valid = false
+			return
+		}
+		e := it.sources[best].cur
+		// Consume this key from every source holding it.
+		for _, s := range it.sources {
+			for s.hasCur && bytes.Equal(s.cur.Key, e.Key) {
+				if err := s.advance(it, t); err != nil {
+					it.err = err
+					it.valid = false
+					return
+				}
+			}
+		}
+		if e.Tombstone {
+			floor = nil // already consumed; look at next key
+			continue
+		}
+		it.current = e
+		it.valid = true
+		return
+	}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Entry returns the current entry. Only meaningful when Valid.
+func (it *Iterator) Entry() Entry { return it.current }
+
+// Err reports a NAND or decode error that invalidated the iterator.
+func (it *Iterator) Err() error { return it.err }
+
+// End reports the completion time of the NAND reads performed so far.
+func (it *Iterator) End() sim.Time { return it.end }
+
+// Next advances to the following live key.
+func (it *Iterator) Next(t sim.Time) {
+	if !it.valid {
+		return
+	}
+	it.step(t, nil)
+}

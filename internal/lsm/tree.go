@@ -1,0 +1,451 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"bandslim/internal/metrics"
+	"bandslim/internal/sim"
+	"bandslim/internal/vlog"
+)
+
+// Config tunes the tree.
+type Config struct {
+	// MemTableEntries triggers a flush when the MemTable reaches this many
+	// entries.
+	MemTableEntries int
+	// L0CompactionTrigger compacts L0 into L1 when L0 accumulates this many
+	// tables.
+	L0CompactionTrigger int
+	// LevelTableBase caps L1 at this many tables; each deeper level holds
+	// 10x more.
+	LevelTableBase int
+	// MaxLevels bounds the tree depth (L0..L{MaxLevels-1}).
+	MaxLevels int
+	// TablePages caps the size of one output SSTable during compaction.
+	TablePages int
+}
+
+// DefaultConfig returns the tuning used by the benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		MemTableEntries:     4096,
+		L0CompactionTrigger: 4,
+		LevelTableBase:      8,
+		MaxLevels:           4,
+		TablePages:          8,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MemTableEntries < 1 || c.L0CompactionTrigger < 2 ||
+		c.LevelTableBase < 1 || c.MaxLevels < 2 || c.TablePages < 1 {
+		return fmt.Errorf("lsm: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Stats tallies tree activity.
+type Stats struct {
+	Puts            metrics.Counter
+	Gets            metrics.Counter
+	Flushes         metrics.Counter
+	Compactions     metrics.Counter
+	TablesWritten   metrics.Counter
+	EntriesMerged   metrics.Counter
+	TombstonesDrop  metrics.Counter
+	PageReadsServed metrics.Counter // meta pages read for lookups/compaction
+}
+
+// Tree is the LSM index. Values never live here — only (addr, size) pairs
+// pointing into the vLog, so compaction rewrites the index, not the data.
+type Tree struct {
+	cfg    Config
+	store  PageStore
+	alloc  *pageAllocator
+	mem    *MemTable
+	levels [][]*SSTable // levels[0]: newest first; deeper: sorted by smallest
+	nextID uint64
+	stats  Stats
+}
+
+// NewTree builds an empty tree over the store.
+func NewTree(cfg Config, store PageStore) (*Tree, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{
+		cfg:    cfg,
+		store:  store,
+		alloc:  newPageAllocator(store.Pages()),
+		mem:    NewMemTable(),
+		levels: make([][]*SSTable, cfg.MaxLevels),
+	}, nil
+}
+
+// Stats exposes the tree's tallies.
+func (tr *Tree) Stats() *Stats { return &tr.stats }
+
+// MemLen reports the MemTable's entry count (introspection for tests).
+func (tr *Tree) MemLen() int { return tr.mem.Len() }
+
+// LevelTables reports the table count of each level.
+func (tr *Tree) LevelTables() []int {
+	out := make([]int, len(tr.levels))
+	for i, lvl := range tr.levels {
+		out[i] = len(lvl)
+	}
+	return out
+}
+
+// MetaPagesInUse reports how many meta-region pages the tree occupies.
+func (tr *Tree) MetaPagesInUse() int { return tr.alloc.inUse() }
+
+// Put records key → (addr, size). It may trigger a MemTable flush and
+// cascading compactions, whose NAND time is charged to the returned
+// completion time (firmware performs them synchronously).
+func (tr *Tree) Put(t sim.Time, key []byte, addr vlog.Addr, size uint32) (sim.Time, error) {
+	return tr.insert(t, key, addr, size, false)
+}
+
+// Delete records a tombstone for key.
+func (tr *Tree) Delete(t sim.Time, key []byte) (sim.Time, error) {
+	return tr.insert(t, key, 0, 0, true)
+}
+
+func (tr *Tree) insert(t sim.Time, key []byte, addr vlog.Addr, size uint32, tomb bool) (sim.Time, error) {
+	if err := tr.mem.Put(key, addr, size, tomb); err != nil {
+		return t, err
+	}
+	tr.stats.Puts.Inc()
+	if tr.mem.Len() < tr.cfg.MemTableEntries {
+		return t, nil
+	}
+	return tr.Flush(t)
+}
+
+// Flush persists the MemTable as a new L0 table and runs any compactions it
+// triggers. Flushing an empty MemTable is a no-op.
+func (tr *Tree) Flush(t sim.Time) (sim.Time, error) {
+	if tr.mem.Len() == 0 {
+		return t, nil
+	}
+	tr.nextID++
+	b := newTableBuilder(tr.store, tr.alloc, tr.nextID)
+	it := tr.mem.Iterator()
+	for it.Next() {
+		if err := b.add(t, it.Entry()); err != nil {
+			return t, err
+		}
+	}
+	table, end, err := b.finish(t)
+	if err != nil {
+		return t, err
+	}
+	if table != nil {
+		tr.levels[0] = append([]*SSTable{table}, tr.levels[0]...)
+		tr.stats.TablesWritten.Inc()
+	}
+	tr.mem = NewMemTable()
+	tr.stats.Flushes.Inc()
+	cEnd, err := tr.maybeCompact(t)
+	if err != nil {
+		return end, err
+	}
+	if cEnd > end {
+		end = cEnd
+	}
+	return end, nil
+}
+
+// Get resolves a key to its vLog location, searching MemTable, then L0
+// newest-first, then each deeper level. The boolean reports presence; a
+// present tombstone means "deleted".
+func (tr *Tree) Get(t sim.Time, key []byte) (Entry, bool, sim.Time, error) {
+	tr.stats.Gets.Inc()
+	if e, ok := tr.mem.Get(key); ok {
+		return e, true, t, nil
+	}
+	end := t
+	for _, table := range tr.levels[0] {
+		if !table.overlaps(key, key) {
+			continue
+		}
+		e, ok, rEnd, err := tr.searchTable(t, table, key)
+		if err != nil {
+			return Entry{}, false, t, err
+		}
+		if rEnd > end {
+			end = rEnd
+		}
+		if ok {
+			return e, true, end, nil
+		}
+	}
+	for lvl := 1; lvl < len(tr.levels); lvl++ {
+		table := tr.findInLevel(lvl, key)
+		if table == nil {
+			continue
+		}
+		e, ok, rEnd, err := tr.searchTable(t, table, key)
+		if err != nil {
+			return Entry{}, false, t, err
+		}
+		if rEnd > end {
+			end = rEnd
+		}
+		if ok {
+			return e, true, end, nil
+		}
+	}
+	return Entry{}, false, end, nil
+}
+
+// findInLevel binary-searches a sorted (non-overlapping) level for the table
+// covering key.
+func (tr *Tree) findInLevel(lvl int, key []byte) *SSTable {
+	tables := tr.levels[lvl]
+	i := sort.Search(len(tables), func(i int) bool {
+		return bytes.Compare(tables[i].largest, key) >= 0
+	})
+	if i < len(tables) && bytes.Compare(tables[i].smallest, key) <= 0 {
+		return tables[i]
+	}
+	return nil
+}
+
+// searchTable reads the one candidate page and scans it for the key.
+func (tr *Tree) searchTable(t sim.Time, table *SSTable, key []byte) (Entry, bool, sim.Time, error) {
+	pi := table.pageForKey(key)
+	if pi < 0 {
+		return Entry{}, false, t, nil
+	}
+	data, end, err := tr.store.ReadPage(t, table.pages[pi])
+	if err != nil {
+		return Entry{}, false, t, err
+	}
+	tr.stats.PageReadsServed.Inc()
+	entries, err := decodePage(data)
+	if err != nil {
+		return Entry{}, false, t, err
+	}
+	i := sort.Search(len(entries), func(i int) bool {
+		return bytes.Compare(entries[i].Key, key) >= 0
+	})
+	if i < len(entries) && bytes.Equal(entries[i].Key, key) {
+		return entries[i], true, end, nil
+	}
+	return Entry{}, false, end, nil
+}
+
+func (tr *Tree) maxTables(lvl int) int {
+	n := tr.cfg.LevelTableBase
+	for i := 1; i < lvl; i++ {
+		n *= 10
+	}
+	return n
+}
+
+// maybeCompact runs L0→L1 compaction and cascades level overflows downward.
+func (tr *Tree) maybeCompact(t sim.Time) (sim.Time, error) {
+	end := t
+	if len(tr.levels[0]) >= tr.cfg.L0CompactionTrigger {
+		e, err := tr.compactL0(t)
+		if err != nil {
+			return end, err
+		}
+		if e > end {
+			end = e
+		}
+	}
+	for lvl := 1; lvl < len(tr.levels)-1; lvl++ {
+		for len(tr.levels[lvl]) > tr.maxTables(lvl) {
+			e, err := tr.compactLevel(t, lvl)
+			if err != nil {
+				return end, err
+			}
+			if e > end {
+				end = e
+			}
+		}
+	}
+	return end, nil
+}
+
+// compactL0 merges every L0 table with the overlapping span of L1.
+func (tr *Tree) compactL0(t sim.Time) (sim.Time, error) {
+	inputs := append([]*SSTable(nil), tr.levels[0]...)
+	lo, hi := keyRange(inputs)
+	over, rest := splitOverlap(tr.levels[1], lo, hi)
+	inputs = append(inputs, over...)
+	out, end, err := tr.merge(t, inputs, 1 == len(tr.levels)-1)
+	if err != nil {
+		return t, err
+	}
+	tr.levels[0] = nil
+	tr.levels[1] = insertSorted(rest, out)
+	tr.freeTables(inputs)
+	tr.stats.Compactions.Inc()
+	return end, nil
+}
+
+// compactLevel pushes one table from lvl into lvl+1.
+func (tr *Tree) compactLevel(t sim.Time, lvl int) (sim.Time, error) {
+	victim := tr.levels[lvl][0]
+	tr.levels[lvl] = tr.levels[lvl][1:]
+	over, rest := splitOverlap(tr.levels[lvl+1], victim.smallest, victim.largest)
+	inputs := append([]*SSTable{victim}, over...)
+	out, end, err := tr.merge(t, inputs, lvl+1 == len(tr.levels)-1)
+	if err != nil {
+		return t, err
+	}
+	tr.levels[lvl+1] = insertSorted(rest, out)
+	tr.freeTables(inputs)
+	tr.stats.Compactions.Inc()
+	return end, nil
+}
+
+// merge performs a k-way merge of the inputs (ordered newest-first for
+// duplicate resolution) into size-capped output tables. Tombstones are
+// dropped when merging into the bottom level.
+func (tr *Tree) merge(t sim.Time, inputs []*SSTable, bottom bool) ([]*SSTable, sim.Time, error) {
+	end := t
+	// Load and decode every input run (reads charged to the request that
+	// triggered the compaction, as synchronous firmware does).
+	runs := make([][]Entry, len(inputs))
+	for i, table := range inputs {
+		var entries []Entry
+		for _, pg := range table.pages {
+			data, e, err := tr.store.ReadPage(t, pg)
+			if err != nil {
+				return nil, end, err
+			}
+			tr.stats.PageReadsServed.Inc()
+			if e > end {
+				end = e
+			}
+			pe, err := decodePage(data)
+			if err != nil {
+				return nil, end, err
+			}
+			entries = append(entries, pe...)
+		}
+		runs[i] = entries
+	}
+	var out []*SSTable
+	var builder *tableBuilder
+	pos := make([]int, len(runs))
+	for {
+		// Pick the smallest key; ties resolved by input order (newest
+		// input first in `inputs`).
+		best := -1
+		for i := range runs {
+			if pos[i] >= len(runs[i]) {
+				continue
+			}
+			if best < 0 || bytes.Compare(runs[i][pos[i]].Key, runs[best][pos[best]].Key) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := runs[best][pos[best]]
+		// Skip older duplicates in every run.
+		for i := range runs {
+			for pos[i] < len(runs[i]) && bytes.Equal(runs[i][pos[i]].Key, e.Key) {
+				pos[i]++
+			}
+		}
+		tr.stats.EntriesMerged.Inc()
+		if e.Tombstone && bottom {
+			tr.stats.TombstonesDrop.Inc()
+			continue
+		}
+		if builder == nil {
+			tr.nextID++
+			builder = newTableBuilder(tr.store, tr.alloc, tr.nextID)
+		}
+		if err := builder.add(t, e); err != nil {
+			return nil, end, err
+		}
+		if len(builder.table.pages) >= tr.cfg.TablePages {
+			table, bEnd, err := builder.finish(t)
+			if err != nil {
+				return nil, end, err
+			}
+			if bEnd > end {
+				end = bEnd
+			}
+			if table != nil {
+				out = append(out, table)
+				tr.stats.TablesWritten.Inc()
+			}
+			builder = nil
+		}
+	}
+	if builder != nil {
+		table, bEnd, err := builder.finish(t)
+		if err != nil {
+			return nil, end, err
+		}
+		if bEnd > end {
+			end = bEnd
+		}
+		if table != nil {
+			out = append(out, table)
+			tr.stats.TablesWritten.Inc()
+		}
+	}
+	return out, end, nil
+}
+
+// freeTables returns every input table's pages to the allocator and FTL.
+func (tr *Tree) freeTables(tables []*SSTable) {
+	for _, table := range tables {
+		for _, pg := range table.pages {
+			tr.alloc.free(pg)
+			// Trim failures only occur for out-of-range pages, which
+			// would be a bug caught by the allocator; ignore defensively.
+			_ = tr.store.TrimPage(pg)
+		}
+	}
+}
+
+// keyRange reports the smallest and largest keys across tables.
+func keyRange(tables []*SSTable) (lo, hi []byte) {
+	for _, t := range tables {
+		if lo == nil || bytes.Compare(t.smallest, lo) < 0 {
+			lo = t.smallest
+		}
+		if hi == nil || bytes.Compare(t.largest, hi) > 0 {
+			hi = t.largest
+		}
+	}
+	return lo, hi
+}
+
+// splitOverlap partitions a sorted level into tables overlapping [lo,hi] and
+// the rest.
+func splitOverlap(tables []*SSTable, lo, hi []byte) (over, rest []*SSTable) {
+	for _, t := range tables {
+		if lo != nil && t.overlaps(lo, hi) {
+			over = append(over, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	return over, rest
+}
+
+// insertSorted merges new tables into a level, keeping it sorted by smallest
+// key. Levels ≥1 are non-overlapping by construction.
+func insertSorted(level, add []*SSTable) []*SSTable {
+	out := append(append([]*SSTable(nil), level...), add...)
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i].smallest, out[j].smallest) < 0
+	})
+	return out
+}

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 6 {
+		t.Fatalf("Value = %d, want 6", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after Reset, Value = %d", c.Value())
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestWelfordMeanVariance(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Observe(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if w.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", w.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if got, want := w.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.Stddev() != 0 {
+		t.Fatal("empty Welford must report zeros")
+	}
+	w.Observe(3)
+	if w.Variance() != 0 {
+		t.Fatalf("single-sample variance = %v", w.Variance())
+	}
+	if w.Mean() != 3 || w.Min() != 3 || w.Max() != 3 {
+		t.Fatal("single-sample stats wrong")
+	}
+}
+
+// Property: Welford mean always equals the arithmetic mean within float
+// tolerance, and min/max bracket every sample.
+func TestWelfordMatchesNaiveMean(t *testing.T) {
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, s := range samples {
+			x := float64(s)
+			w.Observe(x)
+			sum += x
+		}
+		naive := sum / float64(len(samples))
+		if math.Abs(w.Mean()-naive) > 1e-6*(1+math.Abs(naive)) {
+			return false
+		}
+		return w.Min() <= naive && naive <= w.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1..10000 uniformly: median should be ~5000 within bucket resolution.
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if p := h.P50(); p < 4300 || p > 5800 {
+		t.Fatalf("P50 = %v, want ~5000", p)
+	}
+	if p := h.P99(); p < 9000 || p > 11000 {
+		t.Fatalf("P99 = %v, want ~9900", p)
+	}
+	if h.Min() != 1 || h.Max() != 10000 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEdgeQuantiles(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	h.Observe(100)
+	h.Observe(200)
+	if h.Quantile(0) != 100 {
+		t.Fatalf("q=0 should be min, got %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != 200 {
+		t.Fatalf("q=1 should be max, got %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramTinySamples(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0.25) // below the smallest bound
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q > 1 {
+		t.Fatalf("sub-minimum sample quantile = %v", q)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(50)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+// Property: for constant streams the quantile lies within one bucket (±9%)
+// of the constant.
+func TestHistogramConstantStreamProperty(t *testing.T) {
+	f := func(v uint32, n uint8) bool {
+		x := float64(v%1000000) + 1
+		h := NewHistogram()
+		for i := 0; i < int(n)+1; i++ {
+			h.Observe(x)
+		}
+		q := h.Quantile(0.5)
+		return q >= x/1.1 && q <= x*1.1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.00 KiB"},
+		{4 * 1024 * 1024 * 1024, "4.00 GiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{999, "999"},
+		{1500, "1.50K"},
+		{2500000, "2.50M"},
+		{3000000000, "3.00G"},
+	}
+	for _, c := range cases {
+		if got := FormatCount(c.in); got != c.want {
+			t.Errorf("FormatCount(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

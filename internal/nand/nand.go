@@ -1,0 +1,302 @@
+// Package nand models the NAND flash array of the Cosmos+ OpenSSD platform:
+// 1 TB across 4 channels × 8 ways, 16 KiB pages, erase-before-program blocks,
+// per-way busy timelines for parallelism, and operation latencies that
+// dominate write response times as in the paper's §2.4.
+package nand
+
+import (
+	"fmt"
+
+	"bandslim/internal/metrics"
+	"bandslim/internal/sim"
+)
+
+// Geometry describes a flash array. All counts are per the next level up:
+// WaysPerChannel ways per channel, BlocksPerWay blocks per way, and so on.
+type Geometry struct {
+	Channels       int
+	WaysPerChannel int
+	BlocksPerWay   int
+	PagesPerBlock  int
+	PageSize       int
+}
+
+// DefaultGeometry is a scaled Cosmos+ layout: 4 channels × 8 ways with 16 KiB
+// pages. BlocksPerWay is kept modest (the simulator allocates page data
+// lazily, but mapping tables are dense) while preserving the real page size
+// and parallelism. Capacity: 4*8*256*256*16 KiB = 32 GiB.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:       4,
+		WaysPerChannel: 8,
+		BlocksPerWay:   256,
+		PagesPerBlock:  256,
+		PageSize:       16 * 1024,
+	}
+}
+
+// Validate reports whether every dimension is positive.
+func (g Geometry) Validate() error {
+	if g.Channels <= 0 || g.WaysPerChannel <= 0 || g.BlocksPerWay <= 0 ||
+		g.PagesPerBlock <= 0 || g.PageSize <= 0 {
+		return fmt.Errorf("nand: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// Ways reports the total number of ways (the unit of parallelism).
+func (g Geometry) Ways() int { return g.Channels * g.WaysPerChannel }
+
+// Blocks reports the total number of blocks in the array.
+func (g Geometry) Blocks() int { return g.Ways() * g.BlocksPerWay }
+
+// Pages reports the total number of physical pages.
+func (g Geometry) Pages() int { return g.Blocks() * g.PagesPerBlock }
+
+// CapacityBytes reports the raw capacity.
+func (g Geometry) CapacityBytes() int64 {
+	return int64(g.Pages()) * int64(g.PageSize)
+}
+
+// Latency holds flash operation timings. Defaults are MLC-class (DESIGN.md):
+// write responses become ≥10× transfer responses, matching §2.4.
+type Latency struct {
+	Read  sim.Duration // tR: page read to cache register
+	Prog  sim.Duration // tPROG: program page from cache register
+	Erase sim.Duration // tBERS: block erase
+}
+
+// DefaultLatency returns the calibrated MLC-class timings.
+func DefaultLatency() Latency {
+	return Latency{
+		Read:  100 * sim.Microsecond,
+		Prog:  400 * sim.Microsecond,
+		Erase: 3 * sim.Millisecond,
+	}
+}
+
+// PageAddr identifies a physical page.
+type PageAddr struct {
+	Channel int
+	Way     int // way within the channel
+	Block   int // block within the way
+	Page    int // page within the block
+}
+
+func (a PageAddr) String() string {
+	return fmt.Sprintf("ch%d/w%d/b%d/p%d", a.Channel, a.Way, a.Block, a.Page)
+}
+
+// BlockAddr identifies a physical block.
+type BlockAddr struct {
+	Channel int
+	Way     int
+	Block   int
+}
+
+func (a BlockAddr) String() string {
+	return fmt.Sprintf("ch%d/w%d/b%d", a.Channel, a.Way, a.Block)
+}
+
+// Page reports the address of page p within the block.
+func (a BlockAddr) Page(p int) PageAddr {
+	return PageAddr{Channel: a.Channel, Way: a.Way, Block: a.Block, Page: p}
+}
+
+// Stats tallies flash operations and bytes.
+type Stats struct {
+	PageReads    metrics.Counter
+	PageWrites   metrics.Counter
+	BlockErases  metrics.Counter
+	BytesWritten metrics.Counter
+	BytesRead    metrics.Counter
+}
+
+// Array is the flash device: geometry, latencies, per-way timelines, page
+// state tracking and (lazily allocated) page data.
+type Array struct {
+	geo   Geometry
+	lat   Latency
+	clock *sim.Clock
+	ways  []sim.BusyLine // index: channel*WaysPerChannel + way
+	state []pageState    // dense, one per physical page
+	wear  []int32        // erase count per block
+	data  map[int][]byte // page index -> contents (lazy)
+	stats Stats
+	// faultEvery injects a program failure every N-th program when > 0
+	// (test hook for error-path coverage).
+	faultEvery int64
+}
+
+type pageState byte
+
+const (
+	pageErased pageState = iota
+	pageProgrammed
+)
+
+// Common operation errors.
+var (
+	ErrNotErased = fmt.Errorf("nand: program to non-erased page")
+	ErrBadAddr   = fmt.Errorf("nand: address out of range")
+	ErrIOFault   = fmt.Errorf("nand: injected program fault")
+)
+
+// New returns a flash array with the given geometry and latencies, sharing
+// the simulation clock.
+func New(geo Geometry, lat Latency, clock *sim.Clock) (*Array, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Array{
+		geo:   geo,
+		lat:   lat,
+		clock: clock,
+		ways:  make([]sim.BusyLine, geo.Ways()),
+		state: make([]pageState, geo.Pages()),
+		wear:  make([]int32, geo.Blocks()),
+		data:  make(map[int][]byte),
+	}, nil
+}
+
+// Geometry reports the array's geometry.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Latency reports the array's timing parameters.
+func (a *Array) Latency() Latency { return a.lat }
+
+// Stats exposes the operation tallies.
+func (a *Array) Stats() *Stats { return &a.stats }
+
+// SetFaultEvery makes every n-th program operation fail (0 disables).
+func (a *Array) SetFaultEvery(n int64) { a.faultEvery = n }
+
+func (a *Array) wayIndex(ch, way int) int { return ch*a.geo.WaysPerChannel + way }
+
+func (a *Array) pageIndex(p PageAddr) (int, error) {
+	if p.Channel < 0 || p.Channel >= a.geo.Channels ||
+		p.Way < 0 || p.Way >= a.geo.WaysPerChannel ||
+		p.Block < 0 || p.Block >= a.geo.BlocksPerWay ||
+		p.Page < 0 || p.Page >= a.geo.PagesPerBlock {
+		return 0, fmt.Errorf("%w: %v", ErrBadAddr, p)
+	}
+	return ((a.wayIndex(p.Channel, p.Way)*a.geo.BlocksPerWay)+p.Block)*a.geo.PagesPerBlock + p.Page, nil
+}
+
+func (a *Array) blockIndex(b BlockAddr) (int, error) {
+	if b.Channel < 0 || b.Channel >= a.geo.Channels ||
+		b.Way < 0 || b.Way >= a.geo.WaysPerChannel ||
+		b.Block < 0 || b.Block >= a.geo.BlocksPerWay {
+		return 0, fmt.Errorf("%w: %v", ErrBadAddr, b)
+	}
+	return a.wayIndex(b.Channel, b.Way)*a.geo.BlocksPerWay + b.Block, nil
+}
+
+// Program writes data (at most one page) to an erased page. The operation is
+// scheduled on the page's way starting no earlier than t and the completion
+// time is returned. Programming a non-erased page is an error (flash cannot
+// overwrite in place).
+func (a *Array) Program(t sim.Time, p PageAddr, data []byte) (sim.Time, error) {
+	idx, err := a.pageIndex(p)
+	if err != nil {
+		return t, err
+	}
+	if len(data) > a.geo.PageSize {
+		return t, fmt.Errorf("nand: program of %d bytes exceeds page size %d", len(data), a.geo.PageSize)
+	}
+	if a.state[idx] != pageErased {
+		return t, fmt.Errorf("%w: %v", ErrNotErased, p)
+	}
+	if a.faultEvery > 0 && (a.stats.PageWrites.Value()+1)%a.faultEvery == 0 {
+		a.stats.PageWrites.Inc() // the attempt still occupies the op slot
+		return t, fmt.Errorf("%w: %v", ErrIOFault, p)
+	}
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	a.data[idx] = stored
+	a.state[idx] = pageProgrammed
+	a.stats.PageWrites.Inc()
+	a.stats.BytesWritten.Add(int64(a.geo.PageSize)) // NAND programs whole pages
+	_, end := a.ways[a.wayIndex(p.Channel, p.Way)].Schedule(t, a.lat.Prog)
+	return end, nil
+}
+
+// Read returns the contents of a programmed page and the completion time of
+// the read operation. Reading an erased page returns a zero-filled page, as
+// real flash does.
+func (a *Array) Read(t sim.Time, p PageAddr) ([]byte, sim.Time, error) {
+	idx, err := a.pageIndex(p)
+	if err != nil {
+		return nil, t, err
+	}
+	a.stats.PageReads.Inc()
+	a.stats.BytesRead.Add(int64(a.geo.PageSize))
+	_, end := a.ways[a.wayIndex(p.Channel, p.Way)].Schedule(t, a.lat.Read)
+	if a.state[idx] == pageErased {
+		return make([]byte, a.geo.PageSize), end, nil
+	}
+	page := make([]byte, a.geo.PageSize)
+	copy(page, a.data[idx])
+	return page, end, nil
+}
+
+// Erase resets every page of a block to the erased state and returns the
+// completion time.
+func (a *Array) Erase(t sim.Time, b BlockAddr) (sim.Time, error) {
+	bi, err := a.blockIndex(b)
+	if err != nil {
+		return t, err
+	}
+	base := bi * a.geo.PagesPerBlock
+	for i := 0; i < a.geo.PagesPerBlock; i++ {
+		a.state[base+i] = pageErased
+		delete(a.data, base+i)
+	}
+	a.wear[bi]++
+	a.stats.BlockErases.Inc()
+	_, end := a.ways[a.wayIndex(b.Channel, b.Way)].Schedule(t, a.lat.Erase)
+	return end, nil
+}
+
+// IsErased reports whether the page is in the erased state.
+func (a *Array) IsErased(p PageAddr) (bool, error) {
+	idx, err := a.pageIndex(p)
+	if err != nil {
+		return false, err
+	}
+	return a.state[idx] == pageErased, nil
+}
+
+// EraseCount reports how many times a block has been erased (wear).
+func (a *Array) EraseCount(b BlockAddr) (int, error) {
+	bi, err := a.blockIndex(b)
+	if err != nil {
+		return 0, err
+	}
+	return int(a.wear[bi]), nil
+}
+
+// MaxWear reports the highest erase count across all blocks.
+func (a *Array) MaxWear() int {
+	var m int32
+	for _, w := range a.wear {
+		if w > m {
+			m = w
+		}
+	}
+	return int(m)
+}
+
+// WayUtilization reports the busy fraction of each way at time now.
+func (a *Array) WayUtilization(now sim.Time) []float64 {
+	out := make([]float64, len(a.ways))
+	for i := range a.ways {
+		out[i] = a.ways[i].Utilization(now)
+	}
+	return out
+}
+
+// WayFreeAt reports when the given way becomes idle.
+func (a *Array) WayFreeAt(ch, way int) sim.Time {
+	return a.ways[a.wayIndex(ch, way)].FreeAt()
+}

@@ -1,0 +1,262 @@
+package nand
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"bandslim/internal/sim"
+)
+
+func testArray(t *testing.T) *Array {
+	t.Helper()
+	geo := Geometry{Channels: 2, WaysPerChannel: 2, BlocksPerWay: 4, PagesPerBlock: 8, PageSize: 16 * 1024}
+	a, err := New(geo, DefaultLatency(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestGeometryMath(t *testing.T) {
+	g := DefaultGeometry()
+	if g.Ways() != 32 {
+		t.Fatalf("Ways = %d", g.Ways())
+	}
+	if g.Blocks() != 32*256 {
+		t.Fatalf("Blocks = %d", g.Blocks())
+	}
+	if g.Pages() != 32*256*256 {
+		t.Fatalf("Pages = %d", g.Pages())
+	}
+	if g.CapacityBytes() != int64(g.Pages())*16*1024 {
+		t.Fatalf("CapacityBytes = %d", g.CapacityBytes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := Geometry{Channels: 0, WaysPerChannel: 1, BlocksPerWay: 1, PagesPerBlock: 1, PageSize: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-channel geometry validated")
+	}
+	if _, err := New(bad, DefaultLatency(), sim.NewClock()); err == nil {
+		t.Fatal("New accepted invalid geometry")
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	a := testArray(t)
+	p := PageAddr{Channel: 1, Way: 1, Block: 2, Page: 3}
+	data := bytes.Repeat([]byte{0xAB}, 100)
+	end, err := a.Program(0, p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != sim.Time(a.Latency().Prog) {
+		t.Fatalf("program completed at %v, want %v", end, a.Latency().Prog)
+	}
+	got, _, err := a.Read(end, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:100], data) {
+		t.Fatal("read-back mismatch")
+	}
+	// Rest of the page reads as zeros.
+	for _, b := range got[100:] {
+		if b != 0 {
+			t.Fatal("page tail not zero-filled")
+		}
+	}
+}
+
+func TestProgramRejectsOverwrite(t *testing.T) {
+	a := testArray(t)
+	p := PageAddr{}
+	if _, err := a.Program(0, p, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Program(0, p, []byte{2}); !errors.Is(err, ErrNotErased) {
+		t.Fatalf("overwrite err = %v, want ErrNotErased", err)
+	}
+}
+
+func TestProgramRejectsOversized(t *testing.T) {
+	a := testArray(t)
+	if _, err := a.Program(0, PageAddr{}, make([]byte, 16*1024+1)); err == nil {
+		t.Fatal("oversized program accepted")
+	}
+}
+
+func TestBadAddresses(t *testing.T) {
+	a := testArray(t)
+	bads := []PageAddr{
+		{Channel: -1}, {Channel: 2}, {Way: 2}, {Block: 4}, {Page: 8},
+	}
+	for _, p := range bads {
+		if _, err := a.Program(0, p, nil); !errors.Is(err, ErrBadAddr) {
+			t.Errorf("Program(%v) err = %v, want ErrBadAddr", p, err)
+		}
+		if _, _, err := a.Read(0, p); !errors.Is(err, ErrBadAddr) {
+			t.Errorf("Read(%v) err = %v, want ErrBadAddr", p, err)
+		}
+		if _, err := a.IsErased(p); !errors.Is(err, ErrBadAddr) {
+			t.Errorf("IsErased(%v) err = %v, want ErrBadAddr", p, err)
+		}
+	}
+	if _, err := a.Erase(0, BlockAddr{Block: 99}); !errors.Is(err, ErrBadAddr) {
+		t.Fatalf("Erase err = %v", err)
+	}
+	if _, err := a.EraseCount(BlockAddr{Channel: 9}); !errors.Is(err, ErrBadAddr) {
+		t.Fatalf("EraseCount err = %v", err)
+	}
+}
+
+func TestEraseResetsPagesAndWear(t *testing.T) {
+	a := testArray(t)
+	b := BlockAddr{Channel: 0, Way: 1, Block: 2}
+	for i := 0; i < 3; i++ {
+		if _, err := a.Program(0, b.Page(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Erase(0, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		erased, err := a.IsErased(b.Page(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !erased {
+			t.Fatalf("page %d not erased", i)
+		}
+	}
+	if n, _ := a.EraseCount(b); n != 1 {
+		t.Fatalf("EraseCount = %d", n)
+	}
+	if a.MaxWear() != 1 {
+		t.Fatalf("MaxWear = %d", a.MaxWear())
+	}
+	// Reprogramming after erase works.
+	if _, err := a.Program(0, b.Page(0), []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadErasedPageIsZeros(t *testing.T) {
+	a := testArray(t)
+	got, _, err := a.Read(0, PageAddr{Page: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("erased page read non-zero")
+		}
+	}
+}
+
+func TestWayParallelismAndSerialization(t *testing.T) {
+	a := testArray(t)
+	prog := a.Latency().Prog
+	// Two programs to the same way serialize.
+	end1, _ := a.Program(0, PageAddr{Block: 0, Page: 0}, []byte{1})
+	end2, _ := a.Program(0, PageAddr{Block: 0, Page: 1}, []byte{2})
+	if end1 != sim.Time(prog) || end2 != sim.Time(2*prog) {
+		t.Fatalf("same-way programs ended at %v, %v", end1, end2)
+	}
+	// A program to a different way proceeds in parallel.
+	end3, _ := a.Program(0, PageAddr{Channel: 1, Block: 0, Page: 0}, []byte{3})
+	if end3 != sim.Time(prog) {
+		t.Fatalf("cross-way program ended at %v, want %v", end3, prog)
+	}
+	if free := a.WayFreeAt(0, 0); free != end2 {
+		t.Fatalf("WayFreeAt = %v, want %v", free, end2)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	a := testArray(t)
+	a.Program(0, PageAddr{}, []byte{1})
+	a.Read(0, PageAddr{})
+	a.Erase(0, BlockAddr{Block: 1})
+	s := a.Stats()
+	if s.PageWrites.Value() != 1 || s.PageReads.Value() != 1 || s.BlockErases.Value() != 1 {
+		t.Fatalf("stats = %d/%d/%d", s.PageWrites.Value(), s.PageReads.Value(), s.BlockErases.Value())
+	}
+	// NAND writes whole pages regardless of payload size.
+	if s.BytesWritten.Value() != 16*1024 {
+		t.Fatalf("BytesWritten = %d", s.BytesWritten.Value())
+	}
+	if s.BytesRead.Value() != 16*1024 {
+		t.Fatalf("BytesRead = %d", s.BytesRead.Value())
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	a := testArray(t)
+	a.SetFaultEvery(2)
+	if _, err := a.Program(0, PageAddr{Page: 0}, []byte{1}); err != nil {
+		t.Fatalf("first program failed: %v", err)
+	}
+	if _, err := a.Program(0, PageAddr{Page: 1}, []byte{1}); !errors.Is(err, ErrIOFault) {
+		t.Fatalf("second program err = %v, want ErrIOFault", err)
+	}
+	// Faulted page stays erased and can be retried at another address.
+	erased, _ := a.IsErased(PageAddr{Page: 1})
+	if !erased {
+		t.Fatal("faulted page left programmed")
+	}
+}
+
+func TestWayUtilization(t *testing.T) {
+	a := testArray(t)
+	end, _ := a.Program(0, PageAddr{}, []byte{1})
+	u := a.WayUtilization(end)
+	if u[0] != 1.0 {
+		t.Fatalf("way0 utilization = %v", u[0])
+	}
+	if u[1] != 0 {
+		t.Fatalf("way1 utilization = %v", u[1])
+	}
+}
+
+// Property: data written to distinct pages is returned intact for each page
+// (no cross-page aliasing), and the data stored is a copy (caller mutation
+// after Program does not corrupt flash contents).
+func TestProgramIsolationProperty(t *testing.T) {
+	f := func(vals []byte) bool {
+		a := testArray(t)
+		n := len(vals)
+		if n > 8 {
+			n = 8
+		}
+		bufs := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			buf := []byte{vals[i], byte(i)}
+			bufs[i] = buf
+			if _, err := a.Program(0, PageAddr{Page: i}, buf); err != nil {
+				return false
+			}
+			buf[0] ^= 0xFF // mutate after program; flash must keep the copy
+		}
+		for i := 0; i < n; i++ {
+			got, _, err := a.Read(0, PageAddr{Page: i})
+			if err != nil {
+				return false
+			}
+			if got[0] != vals[i]^0xFF^0xFF || got[1] != byte(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package nvme
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status is a completion status code.
+type Status uint16
+
+// Completion status codes used by the simulated controller.
+const (
+	StatusSuccess      Status = 0x0
+	StatusInvalidField Status = 0x2
+	StatusKeyNotFound  Status = 0x87 // KV command set: key does not exist
+	StatusCapacity     Status = 0x81 // device capacity exceeded
+	StatusInternal     Status = 0x6
+	StatusIterEnd      Status = 0x93 // device-side iterator exhausted
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "Success"
+	case StatusInvalidField:
+		return "InvalidField"
+	case StatusKeyNotFound:
+		return "KeyNotFound"
+	case StatusCapacity:
+		return "CapacityExceeded"
+	case StatusInternal:
+		return "InternalError"
+	case StatusIterEnd:
+		return "IteratorEnd"
+	default:
+		return fmt.Sprintf("Status(0x%x)", uint16(s))
+	}
+}
+
+// Err converts a status into a Go error (nil for success).
+func (s Status) Err() error {
+	if s == StatusSuccess {
+		return nil
+	}
+	return fmt.Errorf("nvme: command failed: %s", s)
+}
+
+// Completion is one completion queue entry (16 bytes on the wire).
+type Completion struct {
+	CommandID uint16
+	Status    Status
+	SQHead    uint16
+	// Result carries a command-specific 32-bit result (e.g. the value size
+	// of a read, so short reads are visible to the driver).
+	Result uint32
+}
+
+// Queue-ring errors.
+var (
+	ErrQueueFull  = errors.New("nvme: submission queue full")
+	ErrQueueEmpty = errors.New("nvme: queue empty")
+)
+
+// SubmissionQueue is a fixed-size command ring with a tail doorbell written
+// by the host and a head advanced by the controller fetching entries.
+type SubmissionQueue struct {
+	entries []Command
+	head    uint16 // consumer (controller)
+	tail    uint16 // producer (host)
+	dbTail  uint16 // last doorbell value the controller observed
+}
+
+// NewSubmissionQueue returns a ring with the given number of slots.
+// Size must be at least 2 (one slot is sacrificed to distinguish full/empty).
+func NewSubmissionQueue(size int) *SubmissionQueue {
+	if size < 2 {
+		panic("nvme: submission queue size must be >= 2")
+	}
+	return &SubmissionQueue{entries: make([]Command, size)}
+}
+
+// Size reports the ring capacity in slots.
+func (q *SubmissionQueue) Size() int { return len(q.entries) }
+
+func (q *SubmissionQueue) next(i uint16) uint16 {
+	return uint16((int(i) + 1) % len(q.entries))
+}
+
+// Push places a command at the tail. The host must still ring the doorbell
+// for the controller to see it.
+func (q *SubmissionQueue) Push(c Command) error {
+	if q.next(q.tail) == q.head {
+		return ErrQueueFull
+	}
+	q.entries[q.tail] = c
+	q.tail = q.next(q.tail)
+	return nil
+}
+
+// RingDoorbell publishes the current tail to the controller, as the MMIO
+// doorbell write does in hardware. It returns the doorbell value written.
+func (q *SubmissionQueue) RingDoorbell() uint16 {
+	q.dbTail = q.tail
+	return q.dbTail
+}
+
+// Pending reports how many published commands await fetching.
+func (q *SubmissionQueue) Pending() int {
+	d := int(q.dbTail) - int(q.head)
+	if d < 0 {
+		d += len(q.entries)
+	}
+	return d
+}
+
+// Fetch removes and returns the command at the head. It fails with
+// ErrQueueEmpty if no published commands remain (entries pushed but not yet
+// doorbell-published are invisible, as in hardware).
+func (q *SubmissionQueue) Fetch() (Command, error) {
+	if q.head == q.dbTail {
+		return Command{}, ErrQueueEmpty
+	}
+	c := q.entries[q.head]
+	q.head = q.next(q.head)
+	return c, nil
+}
+
+// Head reports the controller's head index (reported back in completions).
+func (q *SubmissionQueue) Head() uint16 { return q.head }
+
+// CompletionQueue is a fixed-size completion ring with a head doorbell
+// written by the host after reaping entries.
+type CompletionQueue struct {
+	entries []Completion
+	head    uint16 // consumer (host)
+	tail    uint16 // producer (controller)
+}
+
+// NewCompletionQueue returns a ring with the given number of slots.
+func NewCompletionQueue(size int) *CompletionQueue {
+	if size < 2 {
+		panic("nvme: completion queue size must be >= 2")
+	}
+	return &CompletionQueue{entries: make([]Completion, size)}
+}
+
+// Size reports the ring capacity in slots.
+func (q *CompletionQueue) Size() int { return len(q.entries) }
+
+func (q *CompletionQueue) next(i uint16) uint16 {
+	return uint16((int(i) + 1) % len(q.entries))
+}
+
+// Post places a completion at the tail.
+func (q *CompletionQueue) Post(c Completion) error {
+	if q.next(q.tail) == q.head {
+		return ErrQueueFull
+	}
+	q.entries[q.tail] = c
+	q.tail = q.next(q.tail)
+	return nil
+}
+
+// Reap removes and returns the completion at the head. The host must still
+// ring the head doorbell to release the slot to the controller; in this
+// model Reap releases it and RingDoorbell only accounts for the MMIO write.
+func (q *CompletionQueue) Reap() (Completion, error) {
+	if q.head == q.tail {
+		return Completion{}, ErrQueueEmpty
+	}
+	c := q.entries[q.head]
+	q.head = q.next(q.head)
+	return c, nil
+}
+
+// Pending reports how many completions await reaping.
+func (q *CompletionQueue) Pending() int {
+	d := int(q.tail) - int(q.head)
+	if d < 0 {
+		d += len(q.entries)
+	}
+	return d
+}
+
+// RingDoorbell publishes the host's head index (the MMIO write the paper's
+// MMIO ledger counts). It returns the doorbell value.
+func (q *CompletionQueue) RingDoorbell() uint16 { return q.head }
+
+// QueuePair bundles one SQ and its CQ, as the driver allocates them.
+type QueuePair struct {
+	SQ *SubmissionQueue
+	CQ *CompletionQueue
+}
+
+// NewQueuePair returns an SQ/CQ pair of the given depth.
+func NewQueuePair(depth int) *QueuePair {
+	return &QueuePair{
+		SQ: NewSubmissionQueue(depth),
+		CQ: NewCompletionQueue(depth),
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+// BusyLine models a resource that can serve one operation at a time, such as
+// a NAND way, a NAND channel, or the DMA engine. Operations scheduled on the
+// line queue behind one another; the line remembers only the time at which it
+// becomes free, which is all a non-preemptive FIFO resource needs.
+type BusyLine struct {
+	freeAt Time
+	busy   Duration // total busy time, for utilization accounting
+	ops    int64
+}
+
+// FreeAt reports the earliest time at which the resource is idle.
+func (b *BusyLine) FreeAt() Time { return b.freeAt }
+
+// Ops reports how many operations have been scheduled on the line.
+func (b *BusyLine) Ops() int64 { return b.ops }
+
+// BusyTime reports the cumulative time the resource has spent serving.
+func (b *BusyLine) BusyTime() Duration { return b.busy }
+
+// Schedule books an operation of length d that becomes eligible at time t.
+// It returns the operation's start and end times. The resource is occupied
+// during [start, end).
+func (b *BusyLine) Schedule(t Time, d Duration) (start, end Time) {
+	start = t
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	end = start.Add(d)
+	b.freeAt = end
+	b.busy += d
+	b.ops++
+	return start, end
+}
+
+// Utilization reports the fraction of [0, now] the resource spent busy.
+func (b *BusyLine) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(b.busy) / float64(now)
+}
+
+// Reset clears the line for a fresh run.
+func (b *BusyLine) Reset() { *b = BusyLine{} }

@@ -1,0 +1,184 @@
+package bandslim
+
+import (
+	"fmt"
+
+	"bandslim/internal/driver"
+	"bandslim/internal/metrics"
+	"bandslim/internal/pcie"
+	"bandslim/internal/sim"
+)
+
+// Stats is a point-in-time snapshot of everything the paper measures.
+type Stats struct {
+	// Host-observed metrics.
+	Puts, Gets, Deletes int64
+	Commands            int64 // NVMe commands issued
+	WriteRespMean       sim.Duration
+	WriteRespP99        sim.Duration
+	ReadRespMean        sim.Duration
+	Elapsed             sim.Duration // simulated time since open
+	ThroughputKops      float64      // PUTs per simulated second / 1000
+
+	// Interconnect ledger (Fig. 3, 8, 9, 10c, 10d).
+	PCIeBytes       int64 // command fetches + DMA payload (the paper's "PCIe traffic")
+	PCIeTotalBytes  int64 // + completions and doorbells, as PCM counts TLPs
+	PCIeDMABytes    int64
+	PCIeCmdBytes    int64
+	MMIOBytes       int64 // doorbell traffic
+	CompletionBytes int64
+
+	// Device-side metrics (Fig. 4, 11, 12).
+	NANDPageWrites int64 // total NAND programs, incl. LSM flush/compaction/GC
+	NANDPageReads  int64
+	BlockErases    int64
+	VLogFlushes    int64 // value-log page writes only
+	ForcedFlushes  int64
+	BackfillJumps  int64
+	MemcpyTime     sim.Duration // cumulative device copy time
+	FlushWaitTime  sim.Duration // cumulative request time blocked on NAND flushes
+	Memcpys        int64
+	BufferUtil     float64 // payload bytes / flushed NAND bytes in the vLog
+	GCWrites       int64
+	Compactions    int64
+
+	// Transfer decisions (Adaptive).
+	InlineChosen, PRPChosen, HybridChosen int64
+}
+
+// Stats snapshots the current counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ds := db.drv.Stats()
+	fs := db.dev.Flash().Stats()
+	bs := db.dev.Buffer().Stats()
+	es := db.dev.Engine().Stats()
+	elapsed := db.clock.Now().Sub(0)
+	s := Stats{
+		Puts:            ds.Puts.Value(),
+		Gets:            ds.Gets.Value(),
+		Deletes:         ds.Deletes.Value(),
+		Commands:        ds.CommandsIssued.Value(),
+		WriteRespMean:   sim.Duration(ds.WriteResponse.Mean()),
+		WriteRespP99:    sim.Duration(ds.WriteResponse.P99()),
+		ReadRespMean:    sim.Duration(ds.ReadResponse.Mean()),
+		Elapsed:         elapsed,
+		PCIeBytes:       db.link.HostToDeviceBytes(),
+		PCIeTotalBytes:  db.link.TotalBytes(),
+		PCIeDMABytes:    db.link.Traf.DMABytes.Value(),
+		PCIeCmdBytes:    db.link.Traf.CommandBytes.Value(),
+		MMIOBytes:       db.link.MMIOTrafficBytes(),
+		CompletionBytes: db.link.Traf.CompletionBytes.Value(),
+		NANDPageWrites:  fs.PageWrites.Value(),
+		NANDPageReads:   fs.PageReads.Value(),
+		BlockErases:     fs.BlockErases.Value(),
+		VLogFlushes:     bs.Flushes.Value(),
+		ForcedFlushes:   bs.ForcedFlushes.Value(),
+		BackfillJumps:   bs.BackfillJumps.Value(),
+		MemcpyTime:      sim.Duration(es.MemcpyTime.Value()),
+		FlushWaitTime:   sim.Duration(bs.FlushWaitTime.Value()),
+		Memcpys:         es.Memcpys.Value(),
+		BufferUtil:      db.dev.Buffer().Utilization(),
+		GCWrites:        db.dev.FTL().Stats().GCWrites.Value(),
+		Compactions:     db.dev.Tree().Stats().Compactions.Value(),
+		InlineChosen:    ds.InlineChosen.Value(),
+		PRPChosen:       ds.PRPChosen.Value(),
+		HybridChosen:    ds.HybridChosen.Value(),
+	}
+	if elapsed > 0 && s.Puts > 0 {
+		s.ThroughputKops = float64(s.Puts) / elapsed.Seconds() / 1000
+	}
+	return s
+}
+
+// TrafficAmplification reports PCIe bytes per payload byte written — the
+// TAF of Fig. 3(b) when every PUT carries size payload bytes.
+func (s Stats) TrafficAmplification(payloadBytes int64) float64 {
+	if payloadBytes <= 0 {
+		return 0
+	}
+	return float64(s.PCIeBytes) / float64(payloadBytes)
+}
+
+// WriteAmplification reports NAND bytes programmed per payload byte — the
+// WAF of Fig. 4(b).
+func (s Stats) WriteAmplification(payloadBytes int64, nandPageSize int) float64 {
+	if payloadBytes <= 0 {
+		return 0
+	}
+	return float64(s.NANDPageWrites) * float64(nandPageSize) / float64(payloadBytes)
+}
+
+// String renders a compact human-readable summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"puts=%d gets=%d cmds=%d wresp=%v pcie=%s mmio=%s nandw=%d memcpy=%v thr=%.1fKops",
+		s.Puts, s.Gets, s.Commands, s.WriteRespMean,
+		metrics.FormatBytes(s.PCIeBytes), metrics.FormatBytes(s.MMIOBytes),
+		s.NANDPageWrites, s.MemcpyTime, s.ThroughputKops)
+}
+
+// CalibrateThresholds performs the §3.2 exploratory runs: it probes PUT
+// response times across value sizes on throwaway DBs (NAND disabled, as the
+// paper's transfer benchmarks do) and derives Threshold1 (where piggybacking
+// stops beating PRP) and Threshold2 (the largest over-page tail for which
+// hybrid beats PRP). Alpha and Beta default to 1.
+func CalibrateThresholds(perSize int) (Thresholds, error) {
+	if perSize < 1 {
+		return Thresholds{}, fmt.Errorf("bandslim: perSize must be >= 1")
+	}
+	probe := func(m TransferMethod, size int) (sim.Duration, error) {
+		cfg := DefaultConfig()
+		cfg.Method = m
+		cfg.DisableNAND = true
+		db, err := Open(cfg)
+		if err != nil {
+			return 0, err
+		}
+		filler := make([]byte, size)
+		key := []byte{0, 0, 0, 0}
+		for i := 0; i < perSize; i++ {
+			key[0], key[1] = byte(i>>8), byte(i)
+			if err := db.Put(key, filler); err != nil {
+				return 0, err
+			}
+		}
+		return sim.Duration(db.drv.Stats().WriteResponse.Mean()), nil
+	}
+	thr := driver.DefaultThresholds()
+	// Threshold1: largest probed size where piggybacking is no slower.
+	thr.Threshold1 = 35
+	for _, size := range []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096} {
+		pig, err := probe(Piggyback, size)
+		if err != nil {
+			return thr, err
+		}
+		prp, err := probe(Baseline, size)
+		if err != nil {
+			return thr, err
+		}
+		if pig <= prp {
+			thr.Threshold1 = size
+		}
+	}
+	// Threshold2: largest over-page tail where hybrid is no slower.
+	thr.Threshold2 = 0
+	for _, tail := range []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4095} {
+		hyb, err := probe(Hybrid, pcie.MemoryPageSize+tail)
+		if err != nil {
+			return thr, err
+		}
+		prp, err := probe(Baseline, pcie.MemoryPageSize+tail)
+		if err != nil {
+			return thr, err
+		}
+		if hyb <= prp {
+			thr.Threshold2 = tail
+		}
+	}
+	if thr.Threshold2 == 0 {
+		thr.Threshold2 = driver.DefaultThresholds().Threshold2
+	}
+	return thr, nil
+}
