@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# Regenerate the shard-scaling results artifact.
+bench:
+	$(GO) run ./cmd/bandslim-bench -experiment shards -scale 20000 -json results
+
+ci: build vet test race

@@ -27,9 +27,9 @@ import (
 	"bandslim/internal/device"
 	"bandslim/internal/driver"
 	"bandslim/internal/nand"
-	"bandslim/internal/nvme"
 	"bandslim/internal/pagebuf"
 	"bandslim/internal/pcie"
+	"bandslim/internal/shard"
 	"bandslim/internal/sim"
 )
 
@@ -79,7 +79,10 @@ type Config struct {
 	Method TransferMethod
 	// Policy is the device-side packing policy.
 	Policy PackingPolicy
-	// Thresholds calibrate the Adaptive method.
+	// Thresholds calibrate the Adaptive method. A fully zero-valued
+	// Thresholds means "use DefaultThresholds()"; to deliberately run with
+	// Threshold1 = 0 (never piggyback), set any other field non-zero, e.g.
+	// Thresholds{Alpha: 1, Beta: 1}.
 	Thresholds Thresholds
 	// Device tunes the simulated hardware. Leave zero to use the default
 	// Cosmos+-like platform.
@@ -113,36 +116,38 @@ func DefaultConfig() Config {
 type DB struct {
 	mu     sync.Mutex
 	cfg    Config
-	clock  *sim.Clock
-	link   *pcie.Link
-	mem    *nvme.HostMemory
-	dev    *device.Device
-	drv    *driver.Driver
+	st     *shard.Stack
 	closed bool
 }
 
-// Open builds the full stack.
-func Open(cfg Config) (*DB, error) {
+// stackOptions normalizes a Config into the per-stack options shared by the
+// single-DB and sharded front-ends, so both build byte-identical stacks.
+func stackOptions(cfg Config) shard.Options {
 	dcfg := cfg.Device
 	if dcfg.Geometry == (nand.Geometry{}) {
 		dcfg = device.DefaultConfig()
 	}
 	dcfg.Buffer.Policy = cfg.Policy
 	dcfg.NANDEnabled = !cfg.DisableNAND
-	clock := sim.NewClock()
-	link := pcie.NewLink(pcie.DefaultCostModel())
-	mem := nvme.NewHostMemory()
-	dev, err := device.New(dcfg, clock, link, mem)
+	thr := cfg.Thresholds
+	if thr.IsZero() {
+		thr = driver.DefaultThresholds()
+	}
+	return shard.Options{
+		Device:     dcfg,
+		Method:     cfg.Method,
+		Thresholds: thr,
+		Pipelined:  cfg.Pipelined,
+	}
+}
+
+// Open builds the full stack.
+func Open(cfg Config) (*DB, error) {
+	st, err := shard.NewStack(stackOptions(cfg))
 	if err != nil {
 		return nil, fmt.Errorf("bandslim: %w", err)
 	}
-	thr := cfg.Thresholds
-	if thr.Threshold1 == 0 {
-		thr = driver.DefaultThresholds()
-	}
-	drv := driver.New(clock, link, mem, dev, cfg.Method, thr)
-	drv.SetPipelined(cfg.Pipelined)
-	return &DB{cfg: cfg, clock: clock, link: link, mem: mem, dev: dev, drv: drv}, nil
+	return &DB{cfg: cfg, st: st}, nil
 }
 
 // ErrClosed is returned by operations on a closed DB.
@@ -155,7 +160,7 @@ func (db *DB) Put(key, value []byte) error {
 	if db.closed {
 		return ErrClosed
 	}
-	return db.drv.Put(key, value)
+	return db.st.Drv.Put(key, value)
 }
 
 // Get fetches the value for key.
@@ -165,7 +170,7 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
-	return db.drv.Get(key)
+	return db.st.Drv.Get(key)
 }
 
 // Delete removes a key.
@@ -175,7 +180,7 @@ func (db *DB) Delete(key []byte) error {
 	if db.closed {
 		return ErrClosed
 	}
-	return db.drv.Delete(key)
+	return db.st.Drv.Delete(key)
 }
 
 // Flush forces buffered values and index entries to NAND.
@@ -185,7 +190,7 @@ func (db *DB) Flush() error {
 	if db.closed {
 		return ErrClosed
 	}
-	return db.drv.Flush()
+	return db.st.Drv.Flush()
 }
 
 // Close flushes and shuts the DB. Further operations fail with ErrClosed.
@@ -195,7 +200,7 @@ func (db *DB) Close() error {
 	if db.closed {
 		return nil
 	}
-	err := db.drv.Flush()
+	err := db.st.Drv.Flush()
 	db.closed = true
 	return err
 }
@@ -221,7 +226,7 @@ func (db *DB) NewIterator(start []byte) (*Iterator, error) {
 	if start == nil {
 		start = []byte{0}
 	}
-	if err := db.drv.Seek(start); err != nil {
+	if err := db.st.Drv.Seek(start); err != nil {
 		return nil, err
 	}
 	it := &Iterator{db: db}
@@ -251,7 +256,12 @@ func (it *Iterator) Next() {
 }
 
 func (it *Iterator) next() {
-	k, v, err := it.db.drv.Next()
+	if it.db.closed {
+		it.err = ErrClosed
+		it.valid = false
+		return
+	}
+	k, v, err := it.db.st.Drv.Next()
 	if err == driver.ErrIterDone {
 		it.valid = false
 		return
@@ -265,19 +275,19 @@ func (it *Iterator) next() {
 }
 
 // Now reports the DB's simulated time.
-func (db *DB) Now() sim.Time { return db.clock.Now() }
+func (db *DB) Now() sim.Time { return db.st.Clock.Now() }
 
 // SetMethod switches the transfer method on the live DB.
-func (db *DB) SetMethod(m TransferMethod) { db.drv.SetMethod(m) }
+func (db *DB) SetMethod(m TransferMethod) { db.st.Drv.SetMethod(m) }
 
 // SetThresholds replaces the adaptive calibration on the live DB.
-func (db *DB) SetThresholds(t Thresholds) { db.drv.SetThresholds(t) }
+func (db *DB) SetThresholds(t Thresholds) { db.st.Drv.SetThresholds(t) }
 
 // Internals exposes the underlying simulation components for benchmark
 // harnesses and diagnostics. The returned structs are live; treat them as
 // read-only.
 func (db *DB) Internals() (*driver.Driver, *device.Device, *pcie.Link) {
-	return db.drv, db.dev, db.link
+	return db.st.Drv, db.st.Dev, db.st.Link
 }
 
 // Batcher buffers PUTs on the host and ships them as bulk writes — the
@@ -292,7 +302,7 @@ func (db *DB) NewBatcher(batchSize int) (*Batcher, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
-	return db.drv.NewBatcher(batchSize)
+	return db.st.Drv.NewBatcher(batchSize)
 }
 
 // CompactVLog garbage-collects the oldest `pages` value-log pages
@@ -306,12 +316,12 @@ func (db *DB) CompactVLog(pages int) (int, error) {
 	if db.closed {
 		return 0, ErrClosed
 	}
-	return db.drv.CompactVLog(pages)
+	return db.st.Drv.CompactVLog(pages)
 }
 
 // VLogFreeBytes reports how much value-log space remains before compaction
 // is required.
-func (db *DB) VLogFreeBytes() int64 { return db.dev.VLog().FreeBytes() }
+func (db *DB) VLogFreeBytes() int64 { return db.st.Dev.VLog().FreeBytes() }
 
 // DeviceInfo is the controller's identify structure (model, capacity,
 // geometry, and BandSlim capability fields).
@@ -325,5 +335,5 @@ func (db *DB) Identify() (DeviceInfo, error) {
 	if db.closed {
 		return DeviceInfo{}, ErrClosed
 	}
-	return db.drv.Identify()
+	return db.st.Drv.Identify()
 }

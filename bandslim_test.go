@@ -156,6 +156,64 @@ func TestClosedDBRejectsOps(t *testing.T) {
 	}
 }
 
+// A fully zero Thresholds is the "use defaults" sentinel; a deliberate
+// Threshold1 = 0 (any other field non-zero) must be honored, not silently
+// replaced with the defaults.
+func TestThresholdsZeroValueSentinel(t *testing.T) {
+	// Zero value: defaults apply, so a small value goes inline.
+	db := openSmall(t, func(c *Config) {
+		c.Method = Adaptive
+		c.Thresholds = Thresholds{}
+	})
+	defer db.Close()
+	if err := db.Put([]byte("k"), make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if s := db.Stats(); s.InlineChosen != 1 || s.PRPChosen != 0 {
+		t.Fatalf("zero Thresholds did not adopt defaults: inline=%d prp=%d",
+			s.InlineChosen, s.PRPChosen)
+	}
+
+	// Deliberate Threshold1 = 0: the same small value must take the DMA path.
+	db2 := openSmall(t, func(c *Config) {
+		c.Method = Adaptive
+		c.Thresholds = Thresholds{Alpha: 1, Beta: 1}
+	})
+	defer db2.Close()
+	if err := db2.Put([]byte("k"), make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if s := db2.Stats(); s.InlineChosen != 0 || s.PRPChosen != 1 {
+		t.Fatalf("deliberate Threshold1=0 was overridden: inline=%d prp=%d",
+			s.InlineChosen, s.PRPChosen)
+	}
+}
+
+// Closing the DB invalidates outstanding iterators: the next advance fails
+// with ErrClosed instead of touching a torn-down stack.
+func TestIteratorInvalidatedByClose(t *testing.T) {
+	db := openSmall(t, nil)
+	db.Put([]byte("a"), []byte("1"))
+	db.Put([]byte("b"), []byte("2"))
+	it, err := db.NewIterator(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.Valid() {
+		t.Fatal("iterator empty before Close")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	it.Next()
+	if it.Valid() {
+		t.Fatal("iterator still valid after Close")
+	}
+	if it.Err() != ErrClosed {
+		t.Fatalf("Err after Close: %v, want ErrClosed", it.Err())
+	}
+}
+
 func TestFlushPersistsAndCountsNAND(t *testing.T) {
 	db := openSmall(t, nil)
 	defer db.Close()
@@ -368,6 +426,70 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	if db.Stats().Puts != 8*30 {
 		t.Fatalf("Puts = %d", db.Stats().Puts)
+	}
+}
+
+// Run with -race: Put, Get, Delete, and iterators hammered from many
+// goroutines against one DB. Iterators may observe snapshot invalidation
+// (writes interleave with iteration), but nothing may race or panic.
+func TestConcurrentMixedOps(t *testing.T) {
+	db := openSmall(t, nil)
+	defer db.Close()
+	for i := 0; i < 64; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("seed%03d", i)), []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				key := []byte(fmt.Sprintf("m%d-%d", g, i))
+				if err := db.Put(key, []byte{byte(g)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := db.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%5 == 0 {
+					if err := db.Delete(key); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				it, err := db.NewIterator(nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for it.Valid() {
+					if it.Key() == nil {
+						t.Error("valid iterator with nil key")
+						return
+					}
+					it.Next()
+				}
+				// Concurrent writes legitimately invalidate the device
+				// snapshot; only the race detector is the judge here.
+				_ = it.Err()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := db.Stats().Puts; got != 64+4*30 {
+		t.Fatalf("Puts = %d, want %d", got, 64+4*30)
 	}
 }
 

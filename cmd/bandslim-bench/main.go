@@ -4,11 +4,13 @@
 // Usage:
 //
 //	bandslim-bench -experiment fig8 [-scale 20000] [-seed 42] [-csv out/]
+//	bandslim-bench -experiment shards [-shards 1,2,4,8] [-json out/]
 //	bandslim-bench -experiment all
 //	bandslim-bench -list
 //
 // Each experiment prints the same rows/series the paper plots; -csv also
-// writes one CSV file per table for plotting.
+// writes one CSV file per table for plotting. The shards experiment
+// additionally writes machine-readable BENCH_shards.json.
 package main
 
 import (
@@ -16,17 +18,37 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"bandslim/internal/bench"
 )
+
+// parseShards turns "1,2,4,8" into a shard-count sweep.
+func parseShards(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad shard count %q (want comma-separated integers >= 1)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment ID (see -list)")
 		scale      = flag.Int("scale", 20000, "operations per data point (paper: 1M)")
 		seed       = flag.Uint64("seed", 42, "workload seed")
+		shards     = flag.String("shards", "", "shard counts for the shards experiment, e.g. 1,2,4,8")
 		csvDir     = flag.String("csv", "", "directory to write per-table CSV files")
+		jsonDir    = flag.String("json", "", "directory for BENCH_shards.json (default: current dir)")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -39,11 +61,49 @@ func main() {
 		return
 	}
 
-	start := time.Now()
-	tables, err := bench.Run(*experiment, bench.Options{Scale: *scale, Seed: *seed})
+	counts, err := parseShards(*shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
 		os.Exit(1)
+	}
+	opts := bench.Options{Scale: *scale, Seed: *seed, Shards: counts}
+
+	start := time.Now()
+	var tables []*bench.Table
+	if *experiment == "shards" {
+		// Run directly so the machine-readable points are in hand for
+		// BENCH_shards.json alongside the usual table.
+		t, points, err := bench.RunShardScaling(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		tables = []*bench.Table{t}
+		raw, err := bench.ShardScalingJSON(points)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		dir := *jsonDir
+		if dir == "" {
+			dir = "."
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(dir, "BENCH_shards.json")
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	} else {
+		tables, err = bench.Run(*experiment, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
 	}
 	for _, t := range tables {
 		fmt.Println(t.Format())

@@ -341,7 +341,7 @@ func Experiments() []string {
 		"fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"ablation-sgl", "ablation-batch", "ablation-dlt", "ablation-buffer",
 		"ablation-alpha", "ablation-nand", "ablation-pipeline", "breakdown", "read", "scan",
-		"all", "ablations",
+		"shards", "all", "ablations",
 	}
 }
 
@@ -402,6 +402,12 @@ func Run(id string, o Options) ([]*Table, error) {
 		return one(RunReadPath(o))
 	case "scan":
 		return one(RunScanPath(o))
+	case "shards":
+		t, _, err := RunShardScaling(o)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
 	case "ablations":
 		return RunAblations(o)
 	case "all":

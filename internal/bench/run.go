@@ -20,6 +20,9 @@ type Options struct {
 	Scale int
 	// Seed feeds the workload generators.
 	Seed uint64
+	// Shards lists the shard counts the shard-scaling experiment sweeps.
+	// Empty means the default sweep {1, 2, 4, 8}.
+	Shards []int
 }
 
 // DefaultOptions returns the default scale (20k ops per point).
@@ -28,6 +31,9 @@ func DefaultOptions() Options { return Options{Scale: 20000, Seed: 42} }
 func (o Options) normalized() Options {
 	if o.Scale <= 0 {
 		o.Scale = DefaultOptions().Scale
+	}
+	if len(o.Shards) == 0 {
+		o.Shards = []int{1, 2, 4, 8}
 	}
 	return o
 }

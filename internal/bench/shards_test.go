@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// Small scale: assert shape and positivity. Wall-clock throughput depends on
+// the host machine, so scaling ratios are demonstrated by the committed
+// results artifact, not asserted here.
+func TestRunShardScaling(t *testing.T) {
+	o := Options{Scale: 1500, Seed: 42, Shards: []int{1, 2}}
+	tab, points, err := RunShardScaling(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "shards" || len(tab.Rows) != 2 {
+		t.Fatalf("table shape: id=%q rows=%d", tab.ID, len(tab.Rows))
+	}
+	if len(points) != len(o.Shards)*len(shardConfigs) {
+		t.Fatalf("got %d points, want %d", len(points), len(o.Shards)*len(shardConfigs))
+	}
+	for _, p := range points {
+		if p.Ops != 1500 {
+			t.Errorf("%s/%d: ops = %d, want 1500", p.Config, p.Shards, p.Ops)
+		}
+		if p.WallKops <= 0 || p.SimUsPerOp <= 0 || p.RespUs <= 0 || p.WallMillis <= 0 {
+			t.Errorf("%s/%d: non-positive measurement: %+v", p.Config, p.Shards, p)
+		}
+	}
+	// Simulated cost is deterministic: a re-run must reproduce it exactly.
+	_, again, err := RunShardScaling(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if points[i].SimUsPerOp != again[i].SimUsPerOp || points[i].RespUs != again[i].RespUs {
+			t.Errorf("%s/%d: simulated metrics not reproducible: %v vs %v",
+				points[i].Config, points[i].Shards, points[i], again[i])
+		}
+	}
+}
+
+func TestShardScalingJSON(t *testing.T) {
+	points := []ShardPoint{{Shards: 1, Config: "Baseline", Ops: 10, WallKops: 1, SimUsPerOp: 2, RespUs: 3, WallMillis: 4}}
+	raw, err := ShardScalingJSON(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []ShardPoint
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != points[0] {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestShardScalingRejectsBadCounts(t *testing.T) {
+	if _, _, err := RunShardScaling(Options{Scale: 10, Shards: []int{0}}); err == nil {
+		t.Fatal("shard count 0 accepted")
+	}
+}

@@ -85,6 +85,11 @@ func DefaultThresholds() Thresholds {
 	return Thresholds{Threshold1: 128, Threshold2: 64, Alpha: 1, Beta: 1}
 }
 
+// IsZero reports whether every field is zero — the "use defaults" sentinel.
+// A caller who deliberately wants Threshold1 = 0 (never piggyback) sets any
+// other field non-zero, e.g. Thresholds{Alpha: 1, Beta: 1}.
+func (t Thresholds) IsZero() bool { return t == Thresholds{} }
+
 // Stats tallies host-side activity.
 type Stats struct {
 	Puts           metrics.Counter

@@ -85,6 +85,30 @@ func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
 // Reset clears the accumulator.
 func (w *Welford) Reset() { *w = Welford{} }
 
+// Merge folds other's samples into w, as if every sample had been observed
+// on w directly (the parallel-run combination of Chan et al.). Used to
+// aggregate per-shard accumulators into one distribution.
+func (w *Welford) Merge(other *Welford) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	d := other.mean - w.mean
+	w.m2 += other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
+	w.mean += d * float64(other.n) / float64(n)
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n = n
+}
+
 // Histogram records samples into exponentially sized buckets and can report
 // approximate percentiles. It is designed for latency values in nanoseconds:
 // buckets grow by ~8% so percentile error stays under a few percent.
@@ -177,6 +201,29 @@ func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
 
 // P99 reports the approximate 99th percentile.
 func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Merge folds other's samples into h. Every histogram shares the fixed
+// exponential bucket layout, so merging is bucketwise addition plus a
+// Welford merge; percentiles of the merged histogram are exactly what a
+// single histogram observing both sample streams would report.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.under += other.under
+	h.w.Merge(&other.w)
+}
+
+// Clone returns an independent copy of the histogram — a point-in-time
+// snapshot safe to merge or query after the original keeps accumulating.
+func (h *Histogram) Clone() *Histogram {
+	c := NewHistogram()
+	c.Merge(h)
+	return c
+}
 
 // Reset clears all samples.
 func (h *Histogram) Reset() {

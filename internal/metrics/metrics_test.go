@@ -160,6 +160,89 @@ func TestHistogramConstantStreamProperty(t *testing.T) {
 	}
 }
 
+func TestWelfordMerge(t *testing.T) {
+	var a, b, whole Welford
+	samples := []float64{2, 4, 4, 4, 5, 5, 7, 9, 1, 13, 0.5, 21}
+	for i, x := range samples {
+		whole.Observe(x)
+		if i%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged Count = %d, want %d", a.Count(), whole.Count())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+		t.Fatalf("merged Mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Variance()-whole.Variance()) > 1e-9 {
+		t.Fatalf("merged Variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged Min/Max = %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Observe(5)
+	a.Merge(&b) // empty other: no-op
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Fatal("merging empty changed the accumulator")
+	}
+	b.Merge(&a) // empty receiver: adopts other
+	if b.Count() != 1 || b.Mean() != 5 || b.Min() != 5 || b.Max() != 5 {
+		t.Fatal("empty receiver did not adopt other")
+	}
+	a.Merge(nil)
+	if a.Count() != 1 {
+		t.Fatal("nil merge changed the accumulator")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, whole := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 1; i <= 10000; i++ {
+		x := float64(i)
+		whole.Observe(x)
+		if i%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+	}
+	a.Observe(0.25) // exercise the under-range bucket
+	whole.Observe(0.25)
+	a.Merge(b)
+	if a.Count() != whole.Count() {
+		t.Fatalf("merged Count = %d, want %d", a.Count(), whole.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got, want := a.Quantile(q), whole.Quantile(q); got != want {
+			t.Fatalf("merged Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+		t.Fatalf("merged Mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100)
+	c := h.Clone()
+	h.Observe(200)
+	if c.Count() != 1 || c.Max() != 100 {
+		t.Fatal("clone not independent of original")
+	}
+	if h.Count() != 2 {
+		t.Fatal("original lost samples")
+	}
+}
+
 func TestFormatBytes(t *testing.T) {
 	cases := []struct {
 		in   int64

@@ -1,0 +1,169 @@
+// Package shard runs N independent BandSlim host+device stacks in parallel.
+//
+// The paper's testbed is deliberately serialized: one passthrough SQ/CQ pair
+// and one synchronous round trip per command (§4.2 notes the improvement
+// that serialization leaves on the table). A Shard is one such serialized
+// stack — its own sim.Clock, pcie.Link, nvme.HostMemory, device.Device, and
+// driver.Driver — bound to a dedicated worker goroutine, so a front-end that
+// hash-partitions keys across shards (see Partitioner) advances N simulated
+// devices concurrently on N host cores, like parallel NVMe queue pairs
+// feeding independent controllers.
+//
+// Each shard stays exactly as deterministic as a single stack: given the
+// key partition, every shard sees the same command sequence regardless of
+// host scheduling, because all device access happens on the shard's worker
+// goroutine in submission order.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"bandslim/internal/device"
+	"bandslim/internal/driver"
+	"bandslim/internal/nvme"
+	"bandslim/internal/pcie"
+	"bandslim/internal/sim"
+)
+
+// Options assemble one stack. The caller normalizes defaults (device
+// geometry, thresholds) before construction so every stack built from the
+// same Options is identical.
+type Options struct {
+	Device     device.Config
+	Method     driver.Method
+	Thresholds driver.Thresholds
+	Pipelined  bool
+}
+
+// Stack is one full simulated host+device pair: the components bandslim.DB
+// wires together, shared here so the single-DB and sharded front-ends build
+// byte-identical stacks.
+type Stack struct {
+	Clock *sim.Clock
+	Link  *pcie.Link
+	Mem   *nvme.HostMemory
+	Dev   *device.Device
+	Drv   *driver.Driver
+}
+
+// NewStack builds the full stack from normalized options.
+func NewStack(o Options) (*Stack, error) {
+	clock := sim.NewClock()
+	link := pcie.NewLink(pcie.DefaultCostModel())
+	mem := nvme.NewHostMemory()
+	dev, err := device.New(o.Device, clock, link, mem)
+	if err != nil {
+		return nil, err
+	}
+	drv := driver.New(clock, link, mem, dev, o.Method, o.Thresholds)
+	drv.SetPipelined(o.Pipelined)
+	return &Stack{Clock: clock, Link: link, Mem: mem, Dev: dev, Drv: drv}, nil
+}
+
+// Shard is one stack plus the worker goroutine that owns it. All simulation
+// state is touched only from the worker, so shards need no internal locking
+// and different shards run truly in parallel.
+type Shard struct {
+	id    int
+	stack *Stack
+	reqs  chan func()
+	done  chan struct{}
+	stop  sync.Once
+}
+
+// New builds a shard and starts its worker. Callers must Close it to stop
+// the goroutine.
+func New(id int, o Options) (*Shard, error) {
+	st, err := NewStack(o)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", id, err)
+	}
+	s := &Shard{id: id, stack: st, reqs: make(chan func()), done: make(chan struct{})}
+	go s.loop()
+	return s, nil
+}
+
+func (s *Shard) loop() {
+	for fn := range s.reqs {
+		fn()
+	}
+	close(s.done)
+}
+
+// ID reports the shard's index.
+func (s *Shard) ID() int { return s.id }
+
+// Stack exposes the shard's simulation components. Touch them only inside
+// Do (or after Close, when the worker has exited).
+func (s *Shard) Stack() *Stack { return s.stack }
+
+// Do runs fn on the shard's worker goroutine and waits for it to finish.
+// Calling Do on a closed shard panics; front-ends gate on their own closed
+// state first.
+func (s *Shard) Do(fn func()) {
+	ran := make(chan struct{})
+	s.reqs <- func() {
+		fn()
+		close(ran)
+	}
+	<-ran
+}
+
+// Close stops the worker goroutine and waits for it to exit. Idempotent.
+func (s *Shard) Close() {
+	s.stop.Do(func() { close(s.reqs) })
+	<-s.done
+}
+
+// Put stores a key-value pair on this shard.
+func (s *Shard) Put(key, value []byte) error {
+	var err error
+	s.Do(func() { err = s.stack.Drv.Put(key, value) })
+	return err
+}
+
+// Get fetches the value for key from this shard.
+func (s *Shard) Get(key []byte) ([]byte, error) {
+	var (
+		v   []byte
+		err error
+	)
+	s.Do(func() { v, err = s.stack.Drv.Get(key) })
+	return v, err
+}
+
+// Delete removes a key from this shard.
+func (s *Shard) Delete(key []byte) error {
+	var err error
+	s.Do(func() { err = s.stack.Drv.Delete(key) })
+	return err
+}
+
+// Flush forces this shard's buffered values and index entries to NAND.
+func (s *Shard) Flush() error {
+	var err error
+	s.Do(func() { err = s.stack.Drv.Flush() })
+	return err
+}
+
+// Seek positions this shard's device-side iterator at the first key >= start.
+func (s *Shard) Seek(start []byte) error {
+	var err error
+	s.Do(func() { err = s.stack.Drv.Seek(start) })
+	return err
+}
+
+// Next returns the shard iterator's current pair and advances it;
+// driver.ErrIterDone signals exhaustion.
+func (s *Shard) Next() (key, value []byte, err error) {
+	s.Do(func() { key, value, err = s.stack.Drv.Next() })
+	return key, value, err
+}
+
+// Now reports the shard's simulated time.
+func (s *Shard) Now() sim.Time {
+	var t sim.Time
+	s.Do(func() { t = s.stack.Clock.Now() })
+	return t
+}

@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"bandslim/internal/device"
+	"bandslim/internal/driver"
+	"bandslim/internal/nand"
+)
+
+// testOptions returns a compact, fast stack configuration.
+func testOptions() Options {
+	dcfg := device.DefaultConfig()
+	dcfg.Geometry = nand.Geometry{
+		Channels: 2, WaysPerChannel: 2, BlocksPerWay: 64, PagesPerBlock: 32, PageSize: 16 * 1024,
+	}
+	dcfg.LSM.MemTableEntries = 256
+	return Options{
+		Device:     dcfg,
+		Method:     driver.MethodAdaptive,
+		Thresholds: driver.DefaultThresholds(),
+	}
+}
+
+func newTestShard(t *testing.T, id int) *Shard {
+	t.Helper()
+	s, err := New(id, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestStackConstruction(t *testing.T) {
+	st, err := NewStack(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Clock == nil || st.Link == nil || st.Mem == nil || st.Dev == nil || st.Drv == nil {
+		t.Fatal("NewStack left a component nil")
+	}
+	if st.Clock.Now() != 0 {
+		t.Fatal("fresh stack clock not at zero")
+	}
+}
+
+func TestShardPutGetDelete(t *testing.T) {
+	s := newTestShard(t, 0)
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get([]byte("k"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := s.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("k")); err == nil {
+		t.Fatal("deleted key still readable")
+	}
+	if s.Now() <= 0 {
+		t.Fatal("shard clock did not advance")
+	}
+	if s.ID() != 0 {
+		t.Fatalf("ID = %d", s.ID())
+	}
+}
+
+func TestShardCloseIdempotent(t *testing.T) {
+	s, err := New(3, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // must not panic or hang
+}
+
+// Do serializes concurrent callers onto the worker; under -race this
+// validates that all simulation state is single-goroutine confined.
+func TestShardDoSerializes(t *testing.T) {
+	s := newTestShard(t, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := []byte(fmt.Sprintf("g%d-%d", g, i))
+				if err := s.Put(key, []byte{byte(g)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, err := s.Get(key); err != nil || v[0] != byte(g) {
+					t.Errorf("Get(%s) = %v, %v", key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Stack().Drv.Stats().Puts.Value(); got != 8*20 {
+		t.Fatalf("Puts = %d, want %d", got, 8*20)
+	}
+}
+
+func TestPartitionerDeterministicAndCovering(t *testing.T) {
+	p, err := NewPartitioner(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewPartitioner(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	key := make([]byte, 4)
+	for i := 0; i < 4096; i++ {
+		binary.BigEndian.PutUint32(key, uint32(i))
+		a, b := p.Shard(key), q.Shard(key)
+		if a != b {
+			t.Fatalf("same seed disagrees on key %d: %d vs %d", i, a, b)
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("shard %d out of range", a)
+		}
+		counts[a]++
+	}
+	// Sequential keys must spread: no shard may be starved or hog the space.
+	for i, c := range counts {
+		if c < 4096/4/2 || c > 4096/4*2 {
+			t.Fatalf("unbalanced partition: shard %d got %d of 4096", i, c)
+		}
+	}
+	if p.Shards() != 4 {
+		t.Fatalf("Shards() = %d", p.Shards())
+	}
+}
+
+func TestPartitionerSingleShard(t *testing.T) {
+	p, err := NewPartitioner(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range [][]byte{{0}, []byte("abc"), bytes.Repeat([]byte{0xFF}, 16)} {
+		if p.Shard(k) != 0 {
+			t.Fatal("single-shard partitioner must map everything to 0")
+		}
+	}
+	if _, err := NewPartitioner(0, 1); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+}
+
+func TestMergeIteratorGlobalOrder(t *testing.T) {
+	shards := []*Shard{newTestShard(t, 0), newTestShard(t, 1), newTestShard(t, 2)}
+	p, err := NewPartitioner(len(shards), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 90; i++ {
+		key := []byte(fmt.Sprintf("mk%03d", i))
+		if err := shards[p.Shard(key)].Put(key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, string(key))
+	}
+	sort.Strings(want)
+	mi, err := NewMergeIterator(shards, []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for mi.Valid() {
+		got = append(got, string(mi.Key()))
+		if len(got) <= 90 && mi.Value() == nil {
+			t.Fatal("valid position with nil value")
+		}
+		mi.Next()
+	}
+	if mi.Err() != nil {
+		t.Fatal(mi.Err())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeIteratorSeekMidRange(t *testing.T) {
+	shards := []*Shard{newTestShard(t, 0), newTestShard(t, 1)}
+	p, err := NewPartitioner(len(shards), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		key := []byte(fmt.Sprintf("sk%02d", i))
+		if err := shards[p.Shard(key)].Put(key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mi, err := NewMergeIterator(shards, []byte("sk25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	prev := ""
+	for mi.Valid() {
+		k := string(mi.Key())
+		if k < "sk25" {
+			t.Fatalf("key %q before seek point", k)
+		}
+		if k <= prev {
+			t.Fatalf("keys out of order: %q after %q", k, prev)
+		}
+		prev = k
+		count++
+		mi.Next()
+	}
+	if count != 15 {
+		t.Fatalf("scanned %d pairs from sk25, want 15", count)
+	}
+}
+
+func TestMergeIteratorEmpty(t *testing.T) {
+	shards := []*Shard{newTestShard(t, 0)}
+	mi, err := NewMergeIterator(shards, []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Valid() {
+		t.Fatal("empty shard set produced a pair")
+	}
+	if mi.Key() != nil || mi.Value() != nil || mi.Err() != nil {
+		t.Fatal("invalid iterator must report nil key/value and no error")
+	}
+	mi.Next() // must be a no-op, not a panic
+}

@@ -1,0 +1,387 @@
+package bandslim
+
+import (
+	"fmt"
+	"sync"
+
+	"bandslim/internal/metrics"
+	"bandslim/internal/shard"
+	"bandslim/internal/sim"
+)
+
+// partitionSeed keys the shard partitioner. Fixed, so a given key always
+// lands on the same shard across processes and runs.
+const partitionSeed = 0xBA4D511E
+
+// ShardedConfig assembles a ShardedDB.
+type ShardedConfig struct {
+	// Shards is the number of independent device shards (>= 1). Each shard
+	// is a full host+device stack with its own simulated clock, PCIe link,
+	// NVMe queue pair, driver, and device, driven by its own goroutine.
+	Shards int
+	// PerShard configures every shard's stack, with the same semantics and
+	// defaults as Open.
+	PerShard Config
+}
+
+// DefaultShardedConfig returns the paper's headline per-shard configuration
+// across the given number of shards.
+func DefaultShardedConfig(shards int) ShardedConfig {
+	return ShardedConfig{Shards: shards, PerShard: DefaultConfig()}
+}
+
+// ShardedDB fans Put/Get/Delete out across N independent device shards by
+// hash-partitioning keys, lifting the single-queue serialization of DB: the
+// paper's testbed pins every command to one synchronous SQ/CQ pair, while a
+// ShardedDB advances N such pairs concurrently on N host cores, like a
+// multi-queue NVMe deployment with per-queue controllers.
+//
+// Each shard stays exactly as deterministic as a DB: the key partition
+// fixes which shard serves each operation, every shard executes its
+// operations in submission order on a dedicated goroutine, and per-shard
+// simulated clocks advance independently. Aggregate Stats are therefore
+// order-independent: byte ledgers and NAND counts sum exactly, latency
+// distributions merge exactly, and aggregate simulated time is the max over
+// shard clocks (shards run in parallel, so the slowest defines the span).
+//
+// With Shards: 1 a ShardedDB produces byte-identical PCIe traffic ledgers
+// and NAND write counts to a plain DB over the same workload.
+//
+// All methods are safe for concurrent use; operations on different shards
+// proceed in parallel, operations on one shard serialize in arrival order.
+type ShardedDB struct {
+	mu     sync.RWMutex
+	cfg    ShardedConfig
+	shards []*shard.Shard
+	part   *shard.Partitioner
+	closed bool
+}
+
+// OpenSharded builds Shards independent stacks and starts their workers.
+func OpenSharded(cfg ShardedConfig) (*ShardedDB, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("bandslim: ShardedConfig.Shards must be >= 1, got %d", cfg.Shards)
+	}
+	part, err := shard.NewPartitioner(cfg.Shards, partitionSeed)
+	if err != nil {
+		return nil, fmt.Errorf("bandslim: %w", err)
+	}
+	opts := stackOptions(cfg.PerShard)
+	shards := make([]*shard.Shard, cfg.Shards)
+	for i := range shards {
+		sh, err := shard.New(i, opts)
+		if err != nil {
+			for _, open := range shards[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("bandslim: %w", err)
+		}
+		shards[i] = sh
+	}
+	return &ShardedDB{cfg: cfg, shards: shards, part: part}, nil
+}
+
+// NumShards reports the shard count.
+func (s *ShardedDB) NumShards() int { return len(s.shards) }
+
+func (s *ShardedDB) shardFor(key []byte) *shard.Shard {
+	return s.shards[s.part.Shard(key)]
+}
+
+// Put stores a key-value pair on the key's shard. Keys are 1–16 bytes.
+func (s *ShardedDB) Put(key, value []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.shardFor(key).Put(key, value)
+}
+
+// Get fetches the value for key from its shard.
+func (s *ShardedDB) Get(key []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.shardFor(key).Get(key)
+}
+
+// Delete removes a key from its shard.
+func (s *ShardedDB) Delete(key []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.shardFor(key).Delete(key)
+}
+
+// Flush forces every shard's buffered values and index entries to NAND, in
+// parallel. The first error wins.
+func (s *ShardedDB) Flush() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.flushAll()
+}
+
+// flushAll fans a flush out across shards; callers hold at least an RLock.
+func (s *ShardedDB) flushAll() error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard.Shard) {
+			defer wg.Done()
+			errs[i] = sh.Flush()
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes every shard, stops the shard workers, and shuts the DB.
+// Further operations fail with ErrClosed. Stats remains readable.
+func (s *ShardedDB) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	err := s.flushAll()
+	for _, sh := range s.shards {
+		sh.Close()
+	}
+	s.closed = true
+	return err
+}
+
+// Now reports the aggregate simulated time: the max over shard clocks, since
+// shards advance independently like parallel NVMe queues.
+func (s *ShardedDB) Now() sim.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var max sim.Time
+	for _, sh := range s.shards {
+		t := s.shardNow(sh)
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+func (s *ShardedDB) shardNow(sh *shard.Shard) sim.Time {
+	if s.closed {
+		// Workers have exited; direct reads are safe.
+		return sh.Stack().Clock.Now()
+	}
+	return sh.Now()
+}
+
+// shardSnapshot is one shard's raw measurement: the flattened counters plus
+// the pieces that cannot be aggregated from flattened values alone.
+type shardSnapshot struct {
+	stats      Stats
+	write      *metrics.Histogram
+	read       *metrics.Histogram
+	bufFlushed int64 // pagebuf pages flushed, weighting BufferUtil
+}
+
+// Stats aggregates a point-in-time snapshot across every shard: counters and
+// byte ledgers sum exactly, latency distributions merge exactly (see
+// metrics.Histogram.Merge), Elapsed is the max over shard clocks, and
+// BufferUtil is the flush-weighted mean.
+func (s *ShardedDB) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snaps := make([]shardSnapshot, len(s.shards))
+	collect := func(i int, sh *shard.Shard) {
+		st := sh.Stack()
+		snaps[i] = shardSnapshot{
+			stats:      stackStats(st),
+			write:      st.Drv.Stats().WriteResponse.Clone(),
+			read:       st.Drv.Stats().ReadResponse.Clone(),
+			bufFlushed: st.Dev.Buffer().Stats().Flushes.Value(),
+		}
+	}
+	if s.closed {
+		// Workers have exited; direct reads are safe.
+		for i, sh := range s.shards {
+			collect(i, sh)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			wg.Add(1)
+			go func(i int, sh *shard.Shard) {
+				defer wg.Done()
+				sh.Do(func() { collect(i, sh) })
+			}(i, sh)
+		}
+		wg.Wait()
+	}
+	return mergeSnapshots(snaps)
+}
+
+// mergeSnapshots folds per-shard snapshots into one aggregate Stats.
+func mergeSnapshots(snaps []shardSnapshot) Stats {
+	var out Stats
+	write, read := metrics.NewHistogram(), metrics.NewHistogram()
+	var flushed int64
+	for _, sn := range snaps {
+		p := sn.stats
+		out.Puts += p.Puts
+		out.Gets += p.Gets
+		out.Deletes += p.Deletes
+		out.Commands += p.Commands
+		out.PCIeBytes += p.PCIeBytes
+		out.PCIeTotalBytes += p.PCIeTotalBytes
+		out.PCIeDMABytes += p.PCIeDMABytes
+		out.PCIeCmdBytes += p.PCIeCmdBytes
+		out.MMIOBytes += p.MMIOBytes
+		out.CompletionBytes += p.CompletionBytes
+		out.NANDPageWrites += p.NANDPageWrites
+		out.NANDPageReads += p.NANDPageReads
+		out.BlockErases += p.BlockErases
+		out.VLogFlushes += p.VLogFlushes
+		out.ForcedFlushes += p.ForcedFlushes
+		out.BackfillJumps += p.BackfillJumps
+		out.MemcpyTime += p.MemcpyTime
+		out.FlushWaitTime += p.FlushWaitTime
+		out.Memcpys += p.Memcpys
+		out.GCWrites += p.GCWrites
+		out.Compactions += p.Compactions
+		out.InlineChosen += p.InlineChosen
+		out.PRPChosen += p.PRPChosen
+		out.HybridChosen += p.HybridChosen
+		if p.Elapsed > out.Elapsed {
+			out.Elapsed = p.Elapsed
+		}
+		write.Merge(sn.write)
+		read.Merge(sn.read)
+		flushed += sn.bufFlushed
+	}
+	out.WriteRespMean = sim.Duration(write.Mean())
+	out.WriteRespP99 = sim.Duration(write.P99())
+	out.ReadRespMean = sim.Duration(read.Mean())
+	if flushed > 0 {
+		var weighted float64
+		for _, sn := range snaps {
+			weighted += sn.stats.BufferUtil * float64(sn.bufFlushed)
+		}
+		out.BufferUtil = weighted / float64(flushed)
+	}
+	if out.Elapsed > 0 && out.Puts > 0 {
+		out.ThroughputKops = float64(out.Puts) / out.Elapsed.Seconds() / 1000
+	}
+	return out
+}
+
+// ShardStats snapshots one shard's counters (for per-shard balance checks).
+func (s *ShardedDB) ShardStats(i int) Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sh := s.shards[i]
+	if s.closed {
+		return stackStats(sh.Stack())
+	}
+	var out Stats
+	sh.Do(func() { out = stackStats(sh.Stack()) })
+	return out
+}
+
+// ShardFor reports which shard index serves key.
+func (s *ShardedDB) ShardFor(key []byte) int { return s.part.Shard(key) }
+
+// ShardedIterator streams key-value pairs in global key order by k-way
+// merging the per-shard device iterators.
+type ShardedIterator struct {
+	s   *ShardedDB
+	mi  *shard.MergeIterator
+	err error
+}
+
+// NewIterator opens a merged iterator at the first key >= start (nil starts
+// at the beginning). Like DB's iterator, each shard's device holds a single
+// iterator and writes interleaved with iteration invalidate the snapshot;
+// iterate before mutating.
+func (s *ShardedDB) NewIterator(start []byte) (*ShardedIterator, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if start == nil {
+		start = []byte{0}
+	}
+	mi, err := shard.NewMergeIterator(s.shards, start)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIterator{s: s, mi: mi}, nil
+}
+
+// Valid reports whether the iterator holds a pair.
+func (it *ShardedIterator) Valid() bool { return it.err == nil && it.mi.Valid() }
+
+// Key returns the current key.
+func (it *ShardedIterator) Key() []byte {
+	if it.err != nil {
+		return nil
+	}
+	return it.mi.Key()
+}
+
+// Value returns the current value.
+func (it *ShardedIterator) Value() []byte {
+	if it.err != nil {
+		return nil
+	}
+	return it.mi.Value()
+}
+
+// Err reports the error that stopped iteration, if any.
+func (it *ShardedIterator) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	return it.mi.Err()
+}
+
+// Next advances to the following pair in global key order.
+func (it *ShardedIterator) Next() {
+	it.s.mu.RLock()
+	defer it.s.mu.RUnlock()
+	if it.s.closed {
+		it.err = ErrClosed
+		return
+	}
+	it.mi.Next()
+}
+
+// coreKV is the key-value surface DB and ShardedDB share; the assignments
+// below keep the two front-ends in lockstep at compile time.
+type coreKV interface {
+	Put(key, value []byte) error
+	Get(key []byte) ([]byte, error)
+	Delete(key []byte) error
+	Flush() error
+	Close() error
+	Now() sim.Time
+	Stats() Stats
+}
+
+var (
+	_ coreKV = (*DB)(nil)
+	_ coreKV = (*ShardedDB)(nil)
+)

@@ -1,0 +1,327 @@
+package bandslim
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"bandslim/internal/sim"
+)
+
+func openSharded(t *testing.T, shards int, mutate func(*Config)) *ShardedDB {
+	t.Helper()
+	cfg := smallConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := OpenSharded(ShardedConfig{Shards: shards, PerShard: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// shardedWorkload is a deterministic mixed workload, applied identically to
+// any coreKV front-end.
+func shardedWorkload(t *testing.T, kv coreKV, ops int) {
+	t.Helper()
+	rng := sim.NewRNG(99)
+	key := make([]byte, 4)
+	for i := 0; i < ops; i++ {
+		key[0], key[1], key[2], key[3] = byte(i>>24), byte(i>>16), byte(i>>8), byte(i)
+		size := 16 + int(rng.Uint32()%2048)
+		if err := kv.Put(key, bytes.Repeat([]byte{byte(i)}, size)); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			if _, err := kv.Get(key); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%31 == 0 {
+			if err := kv.Delete(key); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := kv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A one-shard ShardedDB must be byte-identical to a plain DB: same PCIe
+// traffic ledgers, same NAND write counts, same simulated time.
+func TestShardedSingleShardMatchesDB(t *testing.T) {
+	db := openSmall(t, nil)
+	defer db.Close()
+	s := openSharded(t, 1, nil)
+
+	shardedWorkload(t, db, 600)
+	shardedWorkload(t, s, 600)
+
+	a, b := db.Stats(), s.Stats()
+	checks := []struct {
+		name string
+		x, y int64
+	}{
+		{"Puts", a.Puts, b.Puts},
+		{"Commands", a.Commands, b.Commands},
+		{"PCIeBytes", a.PCIeBytes, b.PCIeBytes},
+		{"PCIeTotalBytes", a.PCIeTotalBytes, b.PCIeTotalBytes},
+		{"PCIeDMABytes", a.PCIeDMABytes, b.PCIeDMABytes},
+		{"PCIeCmdBytes", a.PCIeCmdBytes, b.PCIeCmdBytes},
+		{"MMIOBytes", a.MMIOBytes, b.MMIOBytes},
+		{"CompletionBytes", a.CompletionBytes, b.CompletionBytes},
+		{"NANDPageWrites", a.NANDPageWrites, b.NANDPageWrites},
+		{"VLogFlushes", a.VLogFlushes, b.VLogFlushes},
+		{"InlineChosen", a.InlineChosen, b.InlineChosen},
+		{"PRPChosen", a.PRPChosen, b.PRPChosen},
+		{"HybridChosen", a.HybridChosen, b.HybridChosen},
+		{"Elapsed", int64(a.Elapsed), int64(b.Elapsed)},
+	}
+	for _, c := range checks {
+		if c.x != c.y {
+			t.Errorf("%s diverged: DB=%d ShardedDB=%d", c.name, c.x, c.y)
+		}
+	}
+	if a.WriteRespMean != b.WriteRespMean || a.WriteRespP99 != b.WriteRespP99 {
+		t.Errorf("latency diverged: DB mean=%v p99=%v, ShardedDB mean=%v p99=%v",
+			a.WriteRespMean, a.WriteRespP99, b.WriteRespMean, b.WriteRespP99)
+	}
+	if db.Now() != s.Now() {
+		t.Errorf("clocks diverged: DB=%v ShardedDB=%v", db.Now(), s.Now())
+	}
+}
+
+func TestShardedRoundTrip(t *testing.T) {
+	s := openSharded(t, 4, nil)
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("rt%04d", i))
+		if err := s.Put(key, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		key := []byte(fmt.Sprintf("rt%04d", i))
+		v, err := s.Get(key)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", key, err)
+		}
+		if string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(%s) = %q", key, v)
+		}
+	}
+	if err := s.Delete([]byte("rt0100")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get([]byte("rt0100")); err == nil {
+		t.Fatal("deleted key still readable")
+	}
+	if s.NumShards() != 4 {
+		t.Fatalf("NumShards = %d", s.NumShards())
+	}
+}
+
+// Keys must spread across shards and always route to the same one.
+func TestShardedPartitionStable(t *testing.T) {
+	s := openSharded(t, 4, nil)
+	counts := make([]int, 4)
+	for i := 0; i < 512; i++ {
+		key := []byte(fmt.Sprintf("pk%04d", i))
+		sh := s.ShardFor(key)
+		if sh != s.ShardFor(key) {
+			t.Fatal("ShardFor is unstable")
+		}
+		counts[sh]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no keys", i)
+		}
+	}
+	// Per-shard stats must account for exactly the routed keys.
+	for i := 0; i < 512; i++ {
+		key := []byte(fmt.Sprintf("pk%04d", i))
+		if err := s.Put(key, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var puts int64
+	for i := 0; i < s.NumShards(); i++ {
+		puts += s.ShardStats(i).Puts
+	}
+	if puts != 512 {
+		t.Fatalf("per-shard Puts sum to %d, want 512", puts)
+	}
+	if got := s.Stats().Puts; got != 512 {
+		t.Fatalf("aggregate Puts = %d, want 512", got)
+	}
+}
+
+func TestShardedIteratorGlobalOrder(t *testing.T) {
+	s := openSharded(t, 3, nil)
+	var want []string
+	for i := 0; i < 300; i++ {
+		key := []byte(fmt.Sprintf("it%04d", i))
+		if err := s.Put(key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, string(key))
+	}
+	sort.Strings(want)
+	it, err := s.NewIterator(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for it.Valid() {
+		got = append(got, string(it.Key()))
+		it.Next()
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestShardedStatsAggregation(t *testing.T) {
+	s := openSharded(t, 4, nil)
+	shardedWorkload(t, s, 400)
+	agg := s.Stats()
+	var sum Stats
+	var maxElapsed sim.Duration
+	for i := 0; i < s.NumShards(); i++ {
+		p := s.ShardStats(i)
+		sum.Puts += p.Puts
+		sum.Commands += p.Commands
+		sum.PCIeBytes += p.PCIeBytes
+		sum.PCIeTotalBytes += p.PCIeTotalBytes
+		sum.NANDPageWrites += p.NANDPageWrites
+		sum.VLogFlushes += p.VLogFlushes
+		if p.Elapsed > maxElapsed {
+			maxElapsed = p.Elapsed
+		}
+	}
+	if agg.Puts != sum.Puts || agg.Puts != 400 {
+		t.Errorf("Puts: aggregate %d, shard sum %d, want 400", agg.Puts, sum.Puts)
+	}
+	if agg.Commands != sum.Commands {
+		t.Errorf("Commands: aggregate %d, shard sum %d", agg.Commands, sum.Commands)
+	}
+	if agg.PCIeBytes != sum.PCIeBytes || agg.PCIeTotalBytes != sum.PCIeTotalBytes {
+		t.Errorf("PCIe ledgers: aggregate %d/%d, shard sums %d/%d",
+			agg.PCIeBytes, agg.PCIeTotalBytes, sum.PCIeBytes, sum.PCIeTotalBytes)
+	}
+	if agg.NANDPageWrites != sum.NANDPageWrites {
+		t.Errorf("NANDPageWrites: aggregate %d, shard sum %d", agg.NANDPageWrites, sum.NANDPageWrites)
+	}
+	if agg.Elapsed != maxElapsed {
+		t.Errorf("Elapsed: aggregate %v, max shard %v", agg.Elapsed, maxElapsed)
+	}
+	if agg.WriteRespMean <= 0 {
+		t.Error("merged WriteRespMean not positive")
+	}
+	if agg.ThroughputKops <= 0 {
+		t.Error("aggregate ThroughputKops not positive")
+	}
+}
+
+func TestShardedClose(t *testing.T) {
+	s := openSharded(t, 2, nil)
+	if err := s.Put([]byte("ck"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.NewIterator(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("ck"), []byte("v")); err != ErrClosed {
+		t.Fatalf("Put after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.Get([]byte("ck")); err != ErrClosed {
+		t.Fatalf("Get after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Flush(); err != ErrClosed {
+		t.Fatalf("Flush after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.NewIterator(nil); err != ErrClosed {
+		t.Fatalf("NewIterator after Close: %v, want ErrClosed", err)
+	}
+	it.Next()
+	if it.Err() != ErrClosed {
+		t.Fatalf("outstanding iterator after Close: %v, want ErrClosed", it.Err())
+	}
+	// Stats and Now stay readable after Close.
+	if s.Stats().Puts != 1 {
+		t.Fatal("Stats unreadable after Close")
+	}
+	if s.Now() <= 0 {
+		t.Fatal("Now unreadable after Close")
+	}
+}
+
+func TestOpenShardedValidates(t *testing.T) {
+	if _, err := OpenSharded(ShardedConfig{Shards: 0}); err == nil {
+		t.Fatal("Shards: 0 accepted")
+	}
+	if _, err := OpenSharded(ShardedConfig{Shards: -3}); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+}
+
+// Run with -race: concurrent Put/Get/Delete plus Stats against a ShardedDB.
+func TestShardedConcurrentAccess(t *testing.T) {
+	s := openSharded(t, 4, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := []byte(fmt.Sprintf("cc%d-%03d", g, i))
+				if err := s.Put(key, bytes.Repeat([]byte{byte(g)}, 64)); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, err := s.Get(key); err != nil || len(v) != 64 {
+					t.Errorf("Get(%s) = %d bytes, %v", key, len(v), err)
+					return
+				}
+				if i%10 == 0 {
+					if err := s.Delete(key); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_ = s.Stats()
+			_ = s.Now()
+		}
+	}()
+	wg.Wait()
+	if got := s.Stats().Puts; got != 8*50 {
+		t.Fatalf("Puts = %d, want %d", got, 8*50)
+	}
+}

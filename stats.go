@@ -6,6 +6,7 @@ import (
 	"bandslim/internal/driver"
 	"bandslim/internal/metrics"
 	"bandslim/internal/pcie"
+	"bandslim/internal/shard"
 	"bandslim/internal/sim"
 )
 
@@ -50,11 +51,19 @@ type Stats struct {
 func (db *DB) Stats() Stats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	ds := db.drv.Stats()
-	fs := db.dev.Flash().Stats()
-	bs := db.dev.Buffer().Stats()
-	es := db.dev.Engine().Stats()
-	elapsed := db.clock.Now().Sub(0)
+	return stackStats(db.st)
+}
+
+// stackStats flattens one stack's counters into a Stats; shared by DB.Stats
+// and the per-shard snapshots ShardedDB.Stats aggregates. The caller must
+// hold whatever serializes access to the stack (the DB mutex, or the shard
+// worker goroutine).
+func stackStats(st *shard.Stack) Stats {
+	ds := st.Drv.Stats()
+	fs := st.Dev.Flash().Stats()
+	bs := st.Dev.Buffer().Stats()
+	es := st.Dev.Engine().Stats()
+	elapsed := st.Clock.Now().Sub(0)
 	s := Stats{
 		Puts:            ds.Puts.Value(),
 		Gets:            ds.Gets.Value(),
@@ -64,12 +73,12 @@ func (db *DB) Stats() Stats {
 		WriteRespP99:    sim.Duration(ds.WriteResponse.P99()),
 		ReadRespMean:    sim.Duration(ds.ReadResponse.Mean()),
 		Elapsed:         elapsed,
-		PCIeBytes:       db.link.HostToDeviceBytes(),
-		PCIeTotalBytes:  db.link.TotalBytes(),
-		PCIeDMABytes:    db.link.Traf.DMABytes.Value(),
-		PCIeCmdBytes:    db.link.Traf.CommandBytes.Value(),
-		MMIOBytes:       db.link.MMIOTrafficBytes(),
-		CompletionBytes: db.link.Traf.CompletionBytes.Value(),
+		PCIeBytes:       st.Link.HostToDeviceBytes(),
+		PCIeTotalBytes:  st.Link.TotalBytes(),
+		PCIeDMABytes:    st.Link.Traf.DMABytes.Value(),
+		PCIeCmdBytes:    st.Link.Traf.CommandBytes.Value(),
+		MMIOBytes:       st.Link.MMIOTrafficBytes(),
+		CompletionBytes: st.Link.Traf.CompletionBytes.Value(),
 		NANDPageWrites:  fs.PageWrites.Value(),
 		NANDPageReads:   fs.PageReads.Value(),
 		BlockErases:     fs.BlockErases.Value(),
@@ -79,9 +88,9 @@ func (db *DB) Stats() Stats {
 		MemcpyTime:      sim.Duration(es.MemcpyTime.Value()),
 		FlushWaitTime:   sim.Duration(bs.FlushWaitTime.Value()),
 		Memcpys:         es.Memcpys.Value(),
-		BufferUtil:      db.dev.Buffer().Utilization(),
-		GCWrites:        db.dev.FTL().Stats().GCWrites.Value(),
-		Compactions:     db.dev.Tree().Stats().Compactions.Value(),
+		BufferUtil:      st.Dev.Buffer().Utilization(),
+		GCWrites:        st.Dev.FTL().Stats().GCWrites.Value(),
+		Compactions:     st.Dev.Tree().Stats().Compactions.Value(),
 		InlineChosen:    ds.InlineChosen.Value(),
 		PRPChosen:       ds.PRPChosen.Value(),
 		HybridChosen:    ds.HybridChosen.Value(),
@@ -144,7 +153,7 @@ func CalibrateThresholds(perSize int) (Thresholds, error) {
 				return 0, err
 			}
 		}
-		return sim.Duration(db.drv.Stats().WriteResponse.Mean()), nil
+		return sim.Duration(db.st.Drv.Stats().WriteResponse.Mean()), nil
 	}
 	thr := driver.DefaultThresholds()
 	// Threshold1: largest probed size where piggybacking is no slower.
