@@ -21,14 +21,15 @@
 package bandslim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"bandslim/internal/device"
 	"bandslim/internal/driver"
+	"bandslim/internal/metrics"
 	"bandslim/internal/nand"
 	"bandslim/internal/pagebuf"
-	"bandslim/internal/pcie"
 	"bandslim/internal/shard"
 	"bandslim/internal/sim"
 )
@@ -96,6 +97,13 @@ type Config struct {
 	// default, matching the paper's testbed; enable to explore the
 	// improvement §4.2 says serialization leaves on the table.
 	Pipelined bool
+	// Tracer, when non-nil, receives every command-level event the stack
+	// emits: driver submissions, doorbell MMIO, command fetches, SQ/CQ ring
+	// transitions, DMA transfers, page-buffer placements and flushes, and
+	// NAND operations, all stamped with simulated time. Use NewRecorder for
+	// an in-memory ring buffer. Nil (the default) keeps tracing at zero
+	// cost: every emission site is behind a single nil check.
+	Tracer Tracer
 }
 
 // DefaultConfig returns the paper's headline configuration: adaptive
@@ -138,6 +146,7 @@ func stackOptions(cfg Config) shard.Options {
 		Method:     cfg.Method,
 		Thresholds: thr,
 		Pipelined:  cfg.Pipelined,
+		Tracer:     cfg.Tracer,
 	}
 }
 
@@ -150,8 +159,16 @@ func Open(cfg Config) (*DB, error) {
 	return &DB{cfg: cfg, st: st}, nil
 }
 
-// ErrClosed is returned by operations on a closed DB.
-var ErrClosed = fmt.Errorf("bandslim: DB is closed")
+// Error sentinels. Both are plain errors.New values: match them with
+// errors.Is, including through wrapped returns.
+var (
+	// ErrClosed is returned by operations on a closed DB or ShardedDB.
+	ErrClosed = errors.New("bandslim: DB is closed")
+	// ErrIterDone reports an exhausted device-side iterator, surfaced by
+	// the raw SEEK/NEXT path; the Iterator types translate it into
+	// Valid() == false.
+	ErrIterDone = driver.ErrIterDone
+)
 
 // Put stores a key-value pair. Keys are 1–16 bytes.
 func (db *DB) Put(key, value []byte) error {
@@ -262,7 +279,7 @@ func (it *Iterator) next() {
 		return
 	}
 	k, v, err := it.db.st.Drv.Next()
-	if err == driver.ErrIterDone {
+	if errors.Is(err, ErrIterDone) {
 		it.valid = false
 		return
 	}
@@ -277,17 +294,107 @@ func (it *Iterator) next() {
 // Now reports the DB's simulated time.
 func (db *DB) Now() sim.Time { return db.st.Clock.Now() }
 
-// SetMethod switches the transfer method on the live DB.
-func (db *DB) SetMethod(m TransferMethod) { db.st.Drv.SetMethod(m) }
+// SetMethod switches the transfer method on the live DB (between benchmark
+// phases). It fails with ErrClosed after Close.
+func (db *DB) SetMethod(m TransferMethod) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.st.Drv.SetMethod(m)
+	return nil
+}
 
-// SetThresholds replaces the adaptive calibration on the live DB.
-func (db *DB) SetThresholds(t Thresholds) { db.st.Drv.SetThresholds(t) }
+// SetThresholds replaces the adaptive calibration on the live DB. It fails
+// with ErrClosed after Close.
+func (db *DB) SetThresholds(t Thresholds) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.st.Drv.SetThresholds(t)
+	return nil
+}
 
-// Internals exposes the underlying simulation components for benchmark
-// harnesses and diagnostics. The returned structs are live; treat them as
-// read-only.
-func (db *DB) Internals() (*driver.Driver, *device.Device, *pcie.Link) {
-	return db.st.Drv, db.st.Dev, db.st.Link
+// OpLatency is one named latency distribution inside an Inspection — a
+// per-opcode command round trip or a per-transfer-method PUT response.
+type OpLatency struct {
+	Name string
+	LatencySummary
+}
+
+// Inspection is a read-only snapshot of the simulation's internal state —
+// the diagnostics the removed Internals() accessor used to expose as live
+// pointers. Every field is a copy; holding one never races with ongoing
+// operations.
+type Inspection struct {
+	// Host-side configuration in effect.
+	Method     TransferMethod
+	Thresholds Thresholds
+	Pipelined  bool
+	// Device-side packing policy in effect.
+	Policy PackingPolicy
+	// Now is the simulated time of the snapshot.
+	Now sim.Time
+	// WireUtilization is the fraction of simulated time the PCIe wire was
+	// busy.
+	WireUtilization float64
+	// Page-buffer state: write pointer, placement frontier (vLog byte
+	// offsets), and open buffer entries.
+	BufferWP       int64
+	BufferFrontier int64
+	OpenPages      int
+	// VLogFreeBytes is the value-log space left before compaction.
+	VLogFreeBytes int64
+	// MaxWear is the highest per-block erase count in the flash array.
+	MaxWear int
+	// OpLatency breaks command round-trip time down by NVMe opcode;
+	// MethodLatency breaks PUT response time down by transfer mode chosen.
+	// Both are in first-observation order.
+	OpLatency     []OpLatency
+	MethodLatency []OpLatency
+}
+
+// summarizeSet digests a HistogramSet into the public OpLatency slice.
+func summarizeSet(set *metrics.HistogramSet) []OpLatency {
+	names := set.Names()
+	out := make([]OpLatency, 0, len(names))
+	for _, name := range names {
+		out = append(out, OpLatency{Name: name, LatencySummary: latencySummary(set.Get(name))})
+	}
+	return out
+}
+
+// Inspect snapshots the simulation's internal state. It remains usable after
+// Close (the snapshot reflects the final state).
+func (db *DB) Inspect() Inspection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return inspectStack(db.st)
+}
+
+// inspectStack builds an Inspection from one stack; the caller must hold
+// whatever serializes access to it.
+func inspectStack(st *shard.Stack) Inspection {
+	buf := st.Dev.Buffer()
+	now := st.Clock.Now()
+	return Inspection{
+		Method:          st.Drv.Method(),
+		Thresholds:      st.Drv.Thresholds(),
+		Pipelined:       st.Drv.Pipelined(),
+		Policy:          buf.Policy(),
+		Now:             now,
+		WireUtilization: st.Link.WireUtilization(now),
+		BufferWP:        buf.WP(),
+		BufferFrontier:  buf.Frontier(),
+		OpenPages:       buf.OpenPages(),
+		VLogFreeBytes:   st.Dev.VLog().FreeBytes(),
+		MaxWear:         st.Dev.Flash().MaxWear(),
+		OpLatency:       summarizeSet(st.Drv.Stats().PerOp),
+		MethodLatency:   summarizeSet(st.Drv.Stats().PerMethod),
+	}
 }
 
 // Batcher buffers PUTs on the host and ships them as bulk writes — the

@@ -169,9 +169,9 @@ func TestThresholdsZeroValueSentinel(t *testing.T) {
 	if err := db.Put([]byte("k"), make([]byte, 32)); err != nil {
 		t.Fatal(err)
 	}
-	if s := db.Stats(); s.InlineChosen != 1 || s.PRPChosen != 0 {
+	if s := db.Stats(); s.Adaptive.Inline != 1 || s.Adaptive.PRP != 0 {
 		t.Fatalf("zero Thresholds did not adopt defaults: inline=%d prp=%d",
-			s.InlineChosen, s.PRPChosen)
+			s.Adaptive.Inline, s.Adaptive.PRP)
 	}
 
 	// Deliberate Threshold1 = 0: the same small value must take the DMA path.
@@ -183,9 +183,9 @@ func TestThresholdsZeroValueSentinel(t *testing.T) {
 	if err := db2.Put([]byte("k"), make([]byte, 32)); err != nil {
 		t.Fatal(err)
 	}
-	if s := db2.Stats(); s.InlineChosen != 0 || s.PRPChosen != 1 {
+	if s := db2.Stats(); s.Adaptive.Inline != 0 || s.Adaptive.PRP != 1 {
 		t.Fatalf("deliberate Threshold1=0 was overridden: inline=%d prp=%d",
-			s.InlineChosen, s.PRPChosen)
+			s.Adaptive.Inline, s.Adaptive.PRP)
 	}
 }
 
@@ -218,11 +218,11 @@ func TestFlushPersistsAndCountsNAND(t *testing.T) {
 	db := openSmall(t, nil)
 	defer db.Close()
 	db.Put([]byte("k"), []byte("v"))
-	before := db.Stats().NANDPageWrites
+	before := db.Stats().Device.NANDPageWrites
 	if err := db.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if db.Stats().NANDPageWrites <= before {
+	if db.Stats().Device.NANDPageWrites <= before {
 		t.Fatal("Flush wrote nothing")
 	}
 }
@@ -233,20 +233,20 @@ func TestStatsSnapshot(t *testing.T) {
 	db.Put([]byte("k1"), make([]byte, 32))
 	db.Get([]byte("k1"))
 	s := db.Stats()
-	if s.Puts != 1 || s.Gets != 1 {
-		t.Fatalf("ops %d/%d", s.Puts, s.Gets)
+	if s.Host.Puts != 1 || s.Host.Gets != 1 {
+		t.Fatalf("ops %d/%d", s.Host.Puts, s.Host.Gets)
 	}
-	if s.Commands < 2 {
-		t.Fatalf("commands %d", s.Commands)
+	if s.Host.Commands < 2 {
+		t.Fatalf("commands %d", s.Host.Commands)
 	}
-	if s.WriteRespMean <= 0 || s.Elapsed <= 0 {
+	if s.Host.WriteResp.Mean <= 0 || s.Host.Elapsed <= 0 {
 		t.Fatal("timings missing")
 	}
-	if s.ThroughputKops <= 0 {
+	if s.Host.ThroughputKops <= 0 {
 		t.Fatal("throughput missing")
 	}
-	if s.InlineChosen != 1 {
-		t.Fatalf("InlineChosen = %d", s.InlineChosen)
+	if s.Adaptive.Inline != 1 {
+		t.Fatalf("InlineChosen = %d", s.Adaptive.Inline)
 	}
 	if s.String() == "" {
 		t.Fatal("empty String")
@@ -254,7 +254,7 @@ func TestStatsSnapshot(t *testing.T) {
 }
 
 func TestStatsAmplificationHelpers(t *testing.T) {
-	s := Stats{PCIeBytes: 4160, NANDPageWrites: 2}
+	s := Stats{PCIe: PCIeStats{Bytes: 4160}, Device: DeviceStats{NANDPageWrites: 2}}
 	if got := s.TrafficAmplification(32); got != 130.0 {
 		t.Fatalf("TAF = %v", got)
 	}
@@ -270,7 +270,7 @@ func TestDisableNAND(t *testing.T) {
 	db := openSmall(t, func(c *Config) { c.DisableNAND = true })
 	defer db.Close()
 	db.Put([]byte("k"), make([]byte, 100))
-	if db.Stats().NANDPageWrites != 0 {
+	if db.Stats().Device.NANDPageWrites != 0 {
 		t.Fatal("NAND written despite DisableNAND")
 	}
 }
@@ -293,15 +293,35 @@ func TestCalibrateThresholds(t *testing.T) {
 	}
 }
 
-func TestInternalsExposed(t *testing.T) {
+func TestInspectSnapshot(t *testing.T) {
 	db := openSmall(t, nil)
 	defer db.Close()
-	drv, dev, link := db.Internals()
-	if drv == nil || dev == nil || link == nil {
-		t.Fatal("Internals returned nil")
+	if got := db.Inspect(); got.Now != 0 {
+		t.Fatalf("fresh DB clock at %v", got.Now)
 	}
-	if db.Now() != 0 {
-		t.Fatal("fresh DB clock not at zero")
+	if err := db.Put([]byte("k"), make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	insp := db.Inspect()
+	if insp.Now <= 0 {
+		t.Fatal("clock did not advance")
+	}
+	if insp.VLogFreeBytes <= 0 {
+		t.Fatal("no vLog space reported")
+	}
+	if len(insp.OpLatency) == 0 || insp.OpLatency[0].Count == 0 {
+		t.Fatalf("per-opcode latency missing: %+v", insp.OpLatency)
+	}
+	if len(insp.MethodLatency) == 0 {
+		t.Fatal("per-method latency missing")
+	}
+	if insp.Policy != db.cfg.Policy {
+		t.Fatalf("Policy = %v, want %v", insp.Policy, db.cfg.Policy)
+	}
+	// The snapshot is a copy: mutating it must not touch the DB.
+	insp.BufferWP = -1
+	if db.Inspect().BufferWP == -1 {
+		t.Fatal("Inspect returned live state")
 	}
 }
 
@@ -344,12 +364,12 @@ func TestCompactVLogAPI(t *testing.T) {
 func TestPipelinedConfig(t *testing.T) {
 	serial := openSmall(t, func(c *Config) { c.Method = Piggyback; c.DisableNAND = true })
 	serial.Put([]byte("k"), make([]byte, 1024))
-	sOps := serial.Stats().WriteRespMean
+	sOps := serial.Stats().Host.WriteResp.Mean
 	serial.Close()
 
 	pipe := openSmall(t, func(c *Config) { c.Method = Piggyback; c.DisableNAND = true; c.Pipelined = true })
 	pipe.Put([]byte("k"), make([]byte, 1024))
-	pOps := pipe.Stats().WriteRespMean
+	pOps := pipe.Stats().Host.WriteResp.Mean
 	pipe.Close()
 
 	if pOps >= sOps/2 {
@@ -424,8 +444,8 @@ func TestConcurrentAccess(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if db.Stats().Puts != 8*30 {
-		t.Fatalf("Puts = %d", db.Stats().Puts)
+	if db.Stats().Host.Puts != 8*30 {
+		t.Fatalf("Puts = %d", db.Stats().Host.Puts)
 	}
 }
 
@@ -488,7 +508,7 @@ func TestConcurrentMixedOps(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if got := db.Stats().Puts; got != 64+4*30 {
+	if got := db.Stats().Host.Puts; got != 64+4*30 {
 		t.Fatalf("Puts = %d, want %d", got, 64+4*30)
 	}
 }
@@ -499,8 +519,13 @@ func TestOpenZeroDeviceConfigGetsDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	_, dev, _ := db.Internals()
-	if dev.Flash().Geometry() != (device.DefaultConfig()).Geometry {
+	id, err := db.Identify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := device.DefaultConfig().Geometry
+	if id.Channels != def.Channels || id.WaysPerChannel != def.WaysPerChannel ||
+		id.NANDPageSize != def.PageSize || id.CapacityBytes != def.CapacityBytes() {
 		t.Fatal("zero config did not default")
 	}
 }

@@ -6,11 +6,17 @@
 //	bandslim-bench -experiment fig8 [-scale 20000] [-seed 42] [-csv out/]
 //	bandslim-bench -experiment shards [-shards 1,2,4,8] [-json out/]
 //	bandslim-bench -experiment all
+//	bandslim-bench -trace out.json [-shards 4]
 //	bandslim-bench -list
 //
 // Each experiment prints the same rows/series the paper plots; -csv also
 // writes one CSV file per table for plotting. The shards experiment
 // additionally writes machine-readable BENCH_shards.json.
+//
+// -trace skips the experiments and instead captures a short adaptive-method
+// workload with command-level tracing on, writing Chrome trace_event JSON
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing. With
+// -shards the capture runs a ShardedDB and the shards render as processes.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"bandslim"
 	"bandslim/internal/bench"
 )
 
@@ -49,6 +56,7 @@ func main() {
 		shards     = flag.String("shards", "", "shard counts for the shards experiment, e.g. 1,2,4,8")
 		csvDir     = flag.String("csv", "", "directory to write per-table CSV files")
 		jsonDir    = flag.String("json", "", "directory for BENCH_shards.json (default: current dir)")
+		tracePath  = flag.String("trace", "", "capture a traced workload and write Chrome trace JSON to this path")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -67,6 +75,35 @@ func main() {
 		os.Exit(1)
 	}
 	opts := bench.Options{Scale: *scale, Seed: *seed, Shards: counts}
+
+	if *tracePath != "" {
+		shardCount := 1
+		if len(counts) > 0 {
+			shardCount = counts[0]
+		}
+		events, err := bench.CaptureTrace(opts, shardCount)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		if err := bandslim.WriteChromeTrace(f, events); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events, %d shard(s)) — load it at https://ui.perfetto.dev\n",
+			*tracePath, len(events), shardCount)
+		return
+	}
 
 	start := time.Now()
 	var tables []*bench.Table

@@ -47,7 +47,7 @@ func main() {
 					os.Exit(1)
 				}
 			}
-			resp[i] = db.Stats().WriteRespMean.Micros()
+			resp[i] = db.Stats().Host.WriteResp.Mean.Micros()
 			db.Close()
 		}
 		fmt.Printf("%8d  %10.2fus  %10.2fus  %10.2fus\n", size, resp[0], resp[1], resp[2])

@@ -70,8 +70,8 @@ func ExampleDB_Stats() {
 		log.Fatal(err)
 	}
 	s := db.Stats()
-	fmt.Printf("PCIe bytes: %d (baseline would be 4160)\n", s.PCIeBytes)
-	fmt.Printf("reduction: %.1f%%\n", 100*(1-float64(s.PCIeBytes)/4160))
+	fmt.Printf("PCIe bytes: %d (baseline would be 4160)\n", s.PCIe.Bytes)
+	fmt.Printf("reduction: %.1f%%\n", 100*(1-float64(s.PCIe.Bytes)/4160))
 	// Output:
 	// PCIe bytes: 64 (baseline would be 4160)
 	// reduction: 98.5%

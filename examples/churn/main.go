@@ -72,9 +72,9 @@ func main() {
 
 	s := db.Stats()
 	fmt.Printf("\nwrote %d KiB (%.1fx the log capacity) across %d PUTs\n",
-		written/1024, float64(written)/float64(capacity), s.Puts)
+		written/1024, float64(written)/float64(capacity), s.Host.Puts)
 	fmt.Printf("compactions: %d, values relocated: %d\n", compactions, relocated)
-	fmt.Printf("NAND pages written: %d (incl. GC relocation and LSM compaction)\n", s.NANDPageWrites)
+	fmt.Printf("NAND pages written: %d (incl. GC relocation and LSM compaction)\n", s.Device.NANDPageWrites)
 
 	// The live set survived the churn.
 	intact := 0

@@ -55,9 +55,9 @@ func main() {
 
 	s := db.Stats()
 	fmt.Printf("ingested: %d counters, %d blobs, %d over-page records\n", counters, blobs, oversize)
-	fmt.Printf("transfer picks: inline=%d prp=%d hybrid=%d\n", s.InlineChosen, s.PRPChosen, s.HybridChosen)
-	fmt.Printf("mean PUT response %v; throughput %.1f Kops/s (simulated)\n", s.WriteRespMean, s.ThroughputKops)
-	fmt.Printf("PCIe traffic %d B for %d payload-carrying commands\n", s.PCIeBytes, s.Commands)
+	fmt.Printf("transfer picks: inline=%d prp=%d hybrid=%d\n", s.Adaptive.Inline, s.Adaptive.PRP, s.Adaptive.Hybrid)
+	fmt.Printf("mean PUT response %v; throughput %.1f Kops/s (simulated)\n", s.Host.WriteResp.Mean, s.Host.ThroughputKops)
+	fmt.Printf("PCIe traffic %d B for %d payload-carrying commands\n", s.PCIe.Bytes, s.Host.Commands)
 
 	// Replay a window: events 1000..1009.
 	start := make([]byte, 8)

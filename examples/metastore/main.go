@@ -55,15 +55,15 @@ func main() {
 	slim := runStore("bandslim", bandslim.Adaptive, bandslim.BackfillPacking)
 
 	fmt.Printf("%-22s %15s %15s\n", "", "stock KV-SSD", "BandSlim")
-	fmt.Printf("%-22s %15d %15d\n", "PCIe bytes", stock.PCIeBytes, slim.PCIeBytes)
-	fmt.Printf("%-22s %15d %15d\n", "NAND page writes", stock.NANDPageWrites, slim.NANDPageWrites)
-	fmt.Printf("%-22s %15v %15v\n", "mean PUT response", stock.WriteRespMean, slim.WriteRespMean)
-	fmt.Printf("%-22s %15.1f %15.1f\n", "throughput (Kops/s)", stock.ThroughputKops, slim.ThroughputKops)
+	fmt.Printf("%-22s %15d %15d\n", "PCIe bytes", stock.PCIe.Bytes, slim.PCIe.Bytes)
+	fmt.Printf("%-22s %15d %15d\n", "NAND page writes", stock.Device.NANDPageWrites, slim.Device.NANDPageWrites)
+	fmt.Printf("%-22s %15v %15v\n", "mean PUT response", stock.Host.WriteResp.Mean, slim.Host.WriteResp.Mean)
+	fmt.Printf("%-22s %15.1f %15.1f\n", "throughput (Kops/s)", stock.Host.ThroughputKops, slim.Host.ThroughputKops)
 
 	fmt.Printf("\nPCIe traffic reduction: %.1f%%\n",
-		100*(1-float64(slim.PCIeBytes)/float64(stock.PCIeBytes)))
+		100*(1-float64(slim.PCIe.Bytes)/float64(stock.PCIe.Bytes)))
 	fmt.Printf("NAND write reduction:   %.1f%%\n",
-		100*(1-float64(slim.NANDPageWrites)/float64(stock.NANDPageWrites)))
+		100*(1-float64(slim.Device.NANDPageWrites)/float64(stock.Device.NANDPageWrites)))
 	fmt.Printf("speedup:                %.2fx\n",
-		slim.ThroughputKops/stock.ThroughputKops)
+		slim.Host.ThroughputKops/stock.Host.ThroughputKops)
 }

@@ -73,7 +73,7 @@ func main() {
 		}
 		s := db.Stats()
 		fmt.Printf("%-18s %12d %12v %14v %12.1f\n",
-			p.name, s.NANDPageWrites, s.MemcpyTime, timing.WriteRespMean, timing.ThroughputKops)
+			p.name, s.Device.NANDPageWrites, s.Device.MemcpyTime, timing.Host.WriteResp.Mean, timing.Host.ThroughputKops)
 		db.Close()
 	}
 

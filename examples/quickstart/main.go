@@ -58,9 +58,9 @@ func main() {
 	s := db.Stats()
 	fmt.Printf("\nsimulated time: %v\n", db.Now())
 	fmt.Printf("PCIe traffic:   %d B (commands %d B + DMA %d B)\n",
-		s.PCIeBytes, s.PCIeCmdBytes, s.PCIeDMABytes)
-	fmt.Printf("MMIO doorbells: %d B\n", s.MMIOBytes)
-	fmt.Printf("mean PUT resp:  %v\n", s.WriteRespMean)
+		s.PCIe.Bytes, s.PCIe.CommandBytes, s.PCIe.DMABytes)
+	fmt.Printf("MMIO doorbells: %d B\n", s.PCIe.MMIOBytes)
+	fmt.Printf("mean PUT resp:  %v\n", s.Host.WriteResp.Mean)
 	fmt.Printf("transfer picks: inline=%d prp=%d hybrid=%d\n",
-		s.InlineChosen, s.PRPChosen, s.HybridChosen)
+		s.Adaptive.Inline, s.Adaptive.PRP, s.Adaptive.Hybrid)
 }

@@ -44,12 +44,12 @@ func runWith(gen workload.Generator, cfg bandslim.Config) (runResult, error) {
 		}
 	}
 	s := db.Stats()
-	s.WriteRespMean = timing.WriteRespMean
-	s.WriteRespP99 = timing.WriteRespP99
-	s.Elapsed = timing.Elapsed
-	s.ThroughputKops = timing.ThroughputKops
-	s.FlushWaitTime = timing.FlushWaitTime
-	s.MemcpyTime = timing.MemcpyTime
+	s.Host.WriteResp.Mean = timing.Host.WriteResp.Mean
+	s.Host.WriteResp.P99 = timing.Host.WriteResp.P99
+	s.Host.Elapsed = timing.Host.Elapsed
+	s.Host.ThroughputKops = timing.Host.ThroughputKops
+	s.Device.FlushWaitTime = timing.Device.FlushWaitTime
+	s.Device.MemcpyTime = timing.Device.MemcpyTime
 	return runResult{Stats: s, PayloadBytes: payload, Ops: ops}, nil
 }
 
@@ -89,8 +89,8 @@ func RunAblationSGL(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			traffic = append(traffic, float64(res.Stats.PCIeBytes)/float64(res.Ops)/1024)
-			resp = append(resp, res.Stats.WriteRespMean.Micros())
+			traffic = append(traffic, float64(res.Stats.PCIe.Bytes)/float64(res.Ops)/1024)
+			resp = append(resp, res.Stats.Host.WriteResp.Mean.Micros())
 		}
 		t.AddRow(sizeLabel(size), append(traffic, resp...)...)
 	}
@@ -153,10 +153,10 @@ func RunAblationBatch(o Options) (*Table, error) {
 		}
 		s := db.Stats()
 		t.AddRow(fmt.Sprintf("batch=%d", batch),
-			float64(s.PCIeBytes)/float64(ops),
-			timing.Elapsed.Micros()/float64(ops),
-			float64(ops)/timing.Elapsed.Seconds()/1000,
-			float64(s.NANDPageWrites),
+			float64(s.PCIe.Bytes)/float64(ops),
+			timing.Host.Elapsed.Micros()/float64(ops),
+			float64(ops)/timing.Host.Elapsed.Seconds()/1000,
+			float64(s.Device.NANDPageWrites),
 			float64(b.Stats().PeakAtRiskOps),
 		)
 		db.Close()
@@ -175,10 +175,10 @@ func RunAblationBatch(o Options) (*Table, error) {
 			return nil, err
 		}
 		t.AddRow(row.label,
-			float64(res.Stats.PCIeBytes)/float64(res.Ops),
-			res.Stats.WriteRespMean.Micros(),
-			res.Stats.ThroughputKops,
-			float64(res.Stats.NANDPageWrites),
+			float64(res.Stats.PCIe.Bytes)/float64(res.Ops),
+			res.Stats.Host.WriteResp.Mean.Micros(),
+			res.Stats.Host.ThroughputKops,
+			float64(res.Stats.Device.NANDPageWrites),
 			0, // durable per PUT
 		)
 	}
@@ -204,9 +204,9 @@ func RunAblationDLT(o Options) (*Table, error) {
 			return nil, err
 		}
 		t.AddRow(fmt.Sprintf("%d", cap),
-			float64(res.Stats.NANDPageWrites),
-			float64(res.Stats.BackfillJumps),
-			res.Stats.ThroughputKops)
+			float64(res.Stats.Device.NANDPageWrites),
+			float64(res.Stats.Device.BackfillJumps),
+			res.Stats.Host.ThroughputKops)
 	}
 	return t, nil
 }
@@ -231,9 +231,9 @@ func RunAblationBuffer(o Options) (*Table, error) {
 			return nil, err
 		}
 		t.AddRow(fmt.Sprintf("%d", entries),
-			float64(res.Stats.NANDPageWrites),
-			float64(res.Stats.ForcedFlushes),
-			res.Stats.WriteRespMean.Micros())
+			float64(res.Stats.Device.NANDPageWrites),
+			float64(res.Stats.Device.ForcedFlushes),
+			res.Stats.Host.WriteResp.Mean.Micros())
 	}
 	return t, nil
 }
@@ -261,10 +261,10 @@ func RunAblationAlpha(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		inline := float64(res.Stats.InlineChosen) / float64(res.Ops)
+		inline := float64(res.Stats.Adaptive.Inline) / float64(res.Ops)
 		t.AddRow(fmt.Sprintf("%.2f", alpha),
-			mb(res.Stats.PCIeBytes),
-			res.Stats.WriteRespMean.Micros(),
+			mb(res.Stats.PCIe.Bytes),
+			res.Stats.Host.WriteResp.Mean.Micros(),
 			inline)
 	}
 	return t, nil
@@ -300,8 +300,8 @@ func RunAblationNAND(o Options) (*Table, error) {
 			return nil, err
 		}
 		t.AddRow(fmt.Sprintf("%dx%d", g.ch, g.ways),
-			res.Stats.WriteRespMean.Micros(),
-			res.Stats.ThroughputKops,
+			res.Stats.Host.WriteResp.Mean.Micros(),
+			res.Stats.Host.ThroughputKops,
 			float64(g.ch*g.ways))
 	}
 	return t, nil
@@ -341,10 +341,10 @@ func RunAblationPipeline(o Options) (*Table, error) {
 			return nil, err
 		}
 		t.AddRow(sizeLabel(size),
-			base.Stats.WriteRespMean.Micros(),
-			serial.Stats.WriteRespMean.Micros(),
-			pipe.Stats.WriteRespMean.Micros(),
-			float64(pipe.Stats.MMIOBytes)/float64(pipe.Ops))
+			base.Stats.Host.WriteResp.Mean.Micros(),
+			serial.Stats.Host.WriteResp.Mean.Micros(),
+			pipe.Stats.Host.WriteResp.Mean.Micros(),
+			float64(pipe.Stats.PCIe.MMIOBytes)/float64(pipe.Ops))
 	}
 	return t, nil
 }
@@ -407,7 +407,7 @@ func RunScanPath(o Options) (*Table, error) {
 		after := db.Stats()
 		elapsed := db.Now().Sub(start)
 		t.AddRow(p,
-			float64(after.NANDPageReads-before.NANDPageReads)/float64(scanned),
+			float64(after.Device.NANDPageReads-before.Device.NANDPageReads)/float64(scanned),
 			elapsed.Micros()/float64(scanned))
 		db.Close()
 	}
@@ -435,9 +435,9 @@ func RunBreakdown(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		total := res.Stats.WriteRespMean.Micros()
-		memcpy := res.Stats.MemcpyTime.Micros() / float64(res.Ops)
-		flushWait := res.Stats.FlushWaitTime.Micros() / float64(res.Ops)
+		total := res.Stats.Host.WriteResp.Mean.Micros()
+		memcpy := res.Stats.Device.MemcpyTime.Micros() / float64(res.Ops)
+		flushWait := res.Stats.Device.FlushWaitTime.Micros() / float64(res.Ops)
 		transfer := total - memcpy - flushWait
 		if transfer < 0 {
 			transfer = 0
@@ -498,9 +498,9 @@ func RunReadPath(o Options) (*Table, error) {
 		}
 		after := db.Stats()
 		t.AddRow(sizeLabel(size),
-			after.ReadRespMean.Micros(),
-			float64(after.PCIeDMABytes-before.PCIeDMABytes)/float64(reads),
-			float64(after.NANDPageReads-before.NANDPageReads)/float64(reads))
+			after.Host.ReadResp.Mean.Micros(),
+			float64(after.PCIe.DMABytes-before.PCIe.DMABytes)/float64(reads),
+			float64(after.Device.NANDPageReads-before.Device.NANDPageReads)/float64(reads))
 		db.Close()
 	}
 	return t, nil

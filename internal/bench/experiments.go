@@ -38,8 +38,8 @@ func RunFig3(o Options) (*Table, *Table, error) {
 			return nil, nil, err
 		}
 		a.AddRow(fmt.Sprintf("%d", kb),
-			gb(res.Stats.PCIeBytes),
-			res.Stats.WriteRespMean.Micros())
+			gb(res.Stats.PCIe.Bytes),
+			res.Stats.Host.WriteResp.Mean.Micros())
 	}
 	b := &Table{
 		ID: "fig3b", Title: "PCIe Traffic Amplification Factor (Baseline)",
@@ -78,8 +78,8 @@ func RunFig4(o Options) (*Table, *Table, error) {
 			return nil, nil, err
 		}
 		a.AddRow(fmt.Sprintf("%d", kb),
-			float64(res.Stats.NANDPageWrites),
-			res.Stats.WriteRespMean.Micros())
+			float64(res.Stats.Device.NANDPageWrites),
+			res.Stats.Host.WriteResp.Mean.Micros())
 	}
 	b := &Table{
 		ID: "fig4b", Title: "NAND Write Amplification Factor (Baseline)",
@@ -123,8 +123,8 @@ func RunFig8(o Options) (*Table, error) {
 			return nil, err
 		}
 		t.AddRow(sizeLabel(size),
-			gb(base.Stats.PCIeBytes), gb(pig.Stats.PCIeBytes),
-			base.Stats.WriteRespMean.Micros(), pig.Stats.WriteRespMean.Micros())
+			gb(base.Stats.PCIe.Bytes), gb(pig.Stats.PCIe.Bytes),
+			base.Stats.Host.WriteResp.Mean.Micros(), pig.Stats.Host.WriteResp.Mean.Micros())
 	}
 	return t, nil
 }
@@ -161,8 +161,8 @@ func RunFig9(o Options) (*Table, error) {
 			return nil, err
 		}
 		t.AddRow(sizeLabel(tail),
-			gb(base.Stats.PCIeBytes), gb(pig.Stats.PCIeBytes), gb(hyb.Stats.PCIeBytes),
-			base.Stats.WriteRespMean.Micros(), pig.Stats.WriteRespMean.Micros(), hyb.Stats.WriteRespMean.Micros())
+			gb(base.Stats.PCIe.Bytes), gb(pig.Stats.PCIe.Bytes), gb(hyb.Stats.PCIe.Bytes),
+			base.Stats.Host.WriteResp.Mean.Micros(), pig.Stats.Host.WriteResp.Mean.Micros(), hyb.Stats.Host.WriteResp.Mean.Micros())
 	}
 	return t, nil
 }
@@ -201,10 +201,10 @@ func RunFig10(o Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			cells.resp = append(cells.resp, res.Stats.WriteRespMean.Micros())
-			cells.thr = append(cells.thr, res.Stats.ThroughputKops)
-			cells.traf = append(cells.traf, gb(res.Stats.PCIeTotalBytes))
-			cells.mmio = append(cells.mmio, mb(res.Stats.MMIOBytes))
+			cells.resp = append(cells.resp, res.Stats.Host.WriteResp.Mean.Micros())
+			cells.thr = append(cells.thr, res.Stats.Host.ThroughputKops)
+			cells.traf = append(cells.traf, gb(res.Stats.PCIe.TotalBytes))
+			cells.mmio = append(cells.mmio, mb(res.Stats.PCIe.MMIOBytes))
 		}
 		resp.AddRow(m.name, cells.resp...)
 		thr.AddRow(m.name, cells.thr...)
@@ -248,8 +248,8 @@ func RunFig11(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			nandIO = append(nandIO, float64(res.Stats.NANDPageWrites))
-			resp = append(resp, res.Stats.WriteRespMean.Micros())
+			nandIO = append(nandIO, float64(res.Stats.Device.NANDPageWrites))
+			resp = append(resp, res.Stats.Host.WriteResp.Mean.Micros())
 		}
 		t.AddRow(sizeLabel(size), append(nandIO, resp...)...)
 	}
@@ -281,10 +281,10 @@ func RunFig12(o Options) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			r = append(r, res.Stats.WriteRespMean.Micros())
-			th = append(th, res.Stats.ThroughputKops)
-			ni = append(ni, float64(res.Stats.NANDPageWrites))
-			mc = append(mc, res.Stats.MemcpyTime.Micros()/float64(res.Ops))
+			r = append(r, res.Stats.Host.WriteResp.Mean.Micros())
+			th = append(th, res.Stats.Host.ThroughputKops)
+			ni = append(ni, float64(res.Stats.Device.NANDPageWrites))
+			mc = append(mc, res.Stats.Device.MemcpyTime.Micros()/float64(res.Ops))
 		}
 		resp.AddRow(p, r...)
 		thr.AddRow(p, th...)

@@ -105,12 +105,12 @@ func run(gen workload.Generator, method bandslim.TransferMethod, policy bandslim
 		}
 	}
 	s := db.Stats()
-	s.WriteRespMean = timing.WriteRespMean
-	s.WriteRespP99 = timing.WriteRespP99
-	s.Elapsed = timing.Elapsed
-	s.ThroughputKops = timing.ThroughputKops
-	s.FlushWaitTime = timing.FlushWaitTime
-	s.MemcpyTime = timing.MemcpyTime
+	s.Host.WriteResp.Mean = timing.Host.WriteResp.Mean
+	s.Host.WriteResp.P99 = timing.Host.WriteResp.P99
+	s.Host.Elapsed = timing.Host.Elapsed
+	s.Host.ThroughputKops = timing.Host.ThroughputKops
+	s.Device.FlushWaitTime = timing.Device.FlushWaitTime
+	s.Device.MemcpyTime = timing.Device.MemcpyTime
 	return runResult{Stats: s, PayloadBytes: payload, Ops: ops}, nil
 }
 

@@ -106,10 +106,10 @@ func runShardPoint(o Options, shards int, method bandslim.TransferMethod, policy
 		return bandslim.Stats{}, 0, 0, fmt.Errorf("bench: shards=%d: flush: %w", shards, err)
 	}
 	stats := s.Stats()
-	stats.WriteRespMean = timing.WriteRespMean
-	stats.WriteRespP99 = timing.WriteRespP99
-	stats.Elapsed = timing.Elapsed
-	stats.ThroughputKops = timing.ThroughputKops
+	stats.Host.WriteResp.Mean = timing.Host.WriteResp.Mean
+	stats.Host.WriteResp.P99 = timing.Host.WriteResp.P99
+	stats.Host.Elapsed = timing.Host.Elapsed
+	stats.Host.ThroughputKops = timing.Host.ThroughputKops
 	return stats, wall, ops, nil
 }
 
@@ -144,7 +144,7 @@ func RunShardScaling(o Options) (*Table, []ShardPoint, error) {
 				return nil, nil, err
 			}
 			wk := float64(ops) / wall.Seconds() / 1000
-			su := stats.Elapsed.Micros() / float64(ops)
+			su := stats.Host.Elapsed.Micros() / float64(ops)
 			wallKops = append(wallKops, wk)
 			simUs = append(simUs, su)
 			points = append(points, ShardPoint{
@@ -154,7 +154,7 @@ func RunShardScaling(o Options) (*Table, []ShardPoint, error) {
 				WallMillis: float64(wall.Microseconds()) / 1000,
 				WallKops:   wk,
 				SimUsPerOp: su,
-				RespUs:     stats.WriteRespMean.Micros(),
+				RespUs:     stats.Host.WriteResp.Mean.Micros(),
 			})
 		}
 		t.AddRow(fmt.Sprintf("%d", n), append(wallKops, simUs...)...)

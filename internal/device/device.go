@@ -17,6 +17,7 @@ import (
 	"bandslim/internal/pagebuf"
 	"bandslim/internal/pcie"
 	"bandslim/internal/sim"
+	"bandslim/internal/trace"
 	"bandslim/internal/vlog"
 )
 
@@ -100,6 +101,7 @@ type Device struct {
 	pending *pendingWrite
 	iter    *lsm.Iterator
 	stats   Stats
+	tr      trace.Tracer
 }
 
 // New builds a device over a fresh flash array, sharing the caller's clock,
@@ -149,6 +151,17 @@ func New(cfg Config, clock *sim.Clock, link *pcie.Link, hostMem *nvme.HostMemory
 
 // Queues exposes the device's queue pair for the driver.
 func (d *Device) Queues() *nvme.QueuePair { return d.qp }
+
+// SetTracer wires the tracer through every device-side component: the DMA
+// engine, the NAND array, the page buffer, the queue rings, and the
+// controller's own command-execution spans. A nil tracer disables them all.
+func (d *Device) SetTracer(tr trace.Tracer) {
+	d.tr = tr
+	d.eng.SetTracer(tr)
+	d.flash.SetTracer(tr)
+	d.vlog.Buffer().SetTracer(tr)
+	d.qp.Attach(d.clock, tr)
+}
 
 // Stats exposes the controller tallies.
 func (d *Device) Stats() *Stats { return &d.stats }
@@ -241,6 +254,9 @@ func (d *Device) execute(t sim.Time, cmd nvme.Command) (nvme.Completion, sim.Tim
 	}
 	if err != nil {
 		comp.Status = classify(err)
+	}
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{Cat: trace.CatDevice, Name: trace.EvExec, Op: byte(cmd.Opcode()), Start: t, End: end, Arg: int64(cmd.CommandID())})
 	}
 	return comp, end
 }

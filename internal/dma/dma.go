@@ -11,6 +11,7 @@ import (
 	"bandslim/internal/nvme"
 	"bandslim/internal/pcie"
 	"bandslim/internal/sim"
+	"bandslim/internal/trace"
 )
 
 // PageAligned reports whether an address or size satisfies the engine's
@@ -59,6 +60,7 @@ type Engine struct {
 	link   *pcie.Link
 	memcpy MemcpyModel
 	stats  Stats
+	tr     trace.Tracer
 }
 
 // NewEngine returns an engine attached to the link.
@@ -68,6 +70,9 @@ func NewEngine(link *pcie.Link, m MemcpyModel) *Engine {
 
 // Stats exposes the engine's tallies.
 func (e *Engine) Stats() *Stats { return &e.stats }
+
+// SetTracer enables transfer/memcpy span tracing; nil turns it back off.
+func (e *Engine) SetTracer(tr trace.Tracer) { e.tr = tr }
 
 // TransferIn performs a host→device page-unit DMA described by a PRP list:
 // it gathers the payload from host memory, moves full pages across the link
@@ -92,6 +97,9 @@ func (e *Engine) TransferIn(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList) ([
 	e.stats.BytesTransferred.Add(int64(size))
 	perPage := sim.Duration(size/pcie.MemoryPageSize) * e.link.Model.DMAPerPage
 	end := e.link.Occupy(t.Add(perPage), int64(size))
+	if e.tr != nil {
+		e.tr.Emit(trace.Event{Cat: trace.CatDMA, Name: trace.EvDMAIn, Start: t, End: end, Bytes: int64(size), Arg: int64(prp.Payload)})
+	}
 	buf := make([]byte, size)
 	copy(buf, payload)
 	return buf, end, nil
@@ -116,6 +124,9 @@ func (e *Engine) TransferInSGL(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList)
 	e.stats.BytesTransferred.Add(int64(prp.Payload))
 	setup := e.link.Model.SGLSetup + sim.Duration(segments)*e.link.Model.SGLPerSegment
 	end := e.link.Occupy(t.Add(setup), int64(prp.Payload))
+	if e.tr != nil {
+		e.tr.Emit(trace.Event{Cat: trace.CatDMA, Name: trace.EvSGLIn, Start: t, End: end, Bytes: int64(prp.Payload), Arg: int64(segments)})
+	}
 	out := make([]byte, len(payload))
 	copy(out, payload)
 	return out, end, nil
@@ -137,6 +148,9 @@ func (e *Engine) TransferOut(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList, d
 	e.stats.BytesTransferred.Add(size)
 	perPage := sim.Duration(size/pcie.MemoryPageSize) * e.link.Model.DMAPerPage
 	end := e.link.Occupy(t.Add(perPage), size)
+	if e.tr != nil {
+		e.tr.Emit(trace.Event{Cat: trace.CatDMA, Name: trace.EvDMAOut, Start: t, End: end, Bytes: size, Arg: int64(len(data))})
+	}
 	return end, nil
 }
 
@@ -150,7 +164,11 @@ func (e *Engine) Memcpy(t sim.Time, n int) sim.Time {
 	e.stats.Memcpys.Inc()
 	e.stats.MemcpyBytes.Add(int64(n))
 	e.stats.MemcpyTime.Add(int64(d))
-	return t.Add(d)
+	end := t.Add(d)
+	if e.tr != nil {
+		e.tr.Emit(trace.Event{Cat: trace.CatDMA, Name: trace.EvMemcpy, Start: t, End: end, Bytes: int64(n)})
+	}
+	return end
 }
 
 // MemcpyCost exposes the copy price without performing one (used by packing

@@ -7,6 +7,7 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 
 	"bandslim/internal/device"
@@ -14,6 +15,7 @@ import (
 	"bandslim/internal/nvme"
 	"bandslim/internal/pcie"
 	"bandslim/internal/sim"
+	"bandslim/internal/trace"
 )
 
 // Method selects the value-transfer strategy.
@@ -102,6 +104,10 @@ type Stats struct {
 	WriteResponse  *metrics.Histogram // ns per PUT
 	ReadResponse   *metrics.Histogram // ns per GET
 	CommandsIssued metrics.Counter
+	// PerOp breaks command round-trip latency down by NVMe opcode;
+	// PerMethod breaks PUT response time down by the transfer mode chosen.
+	PerOp     *metrics.HistogramSet
+	PerMethod *metrics.HistogramSet
 }
 
 // Driver is the host-side key-value driver bound to one device.
@@ -121,6 +127,7 @@ type Driver struct {
 	thr       Thresholds
 	nextID    uint16
 	stats     Stats
+	tr        trace.Tracer
 }
 
 // New binds a driver to a device sharing the same clock, link and host
@@ -136,12 +143,18 @@ func New(clock *sim.Clock, link *pcie.Link, mem *nvme.HostMemory, dev *device.De
 		stats: Stats{
 			WriteResponse: metrics.NewHistogram(),
 			ReadResponse:  metrics.NewHistogram(),
+			PerOp:         metrics.NewHistogramSet(),
+			PerMethod:     metrics.NewHistogramSet(),
 		},
 	}
 }
 
 // Stats exposes the driver tallies.
 func (d *Driver) Stats() *Stats { return &d.stats }
+
+// SetTracer enables host-side operation/submission tracing; nil turns it
+// back off.
+func (d *Driver) SetTracer(tr trace.Tracer) { d.tr = tr }
 
 // Method reports the configured transfer method.
 func (d *Driver) Method() Method { return d.method }
@@ -221,6 +234,11 @@ func (d *Driver) submit(cmd nvme.Command) (nvme.Completion, error) {
 	d.link.RecordDoorbell()
 	// The passthrough round trip serializes on top of the device work.
 	d.clock.AdvanceTo(devEnd.Add(d.link.Model.CommandRoundTrip))
+	now := d.clock.Now()
+	d.stats.PerOp.Observe(cmd.Opcode().String(), float64(now.Sub(t0)))
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{Cat: trace.CatDriver, Name: trace.EvSubmit, Op: byte(cmd.Opcode()), Start: t0, End: now, Arg: int64(cmd.CommandID())})
+	}
 	return comp, nil
 }
 
@@ -267,6 +285,9 @@ func (d *Driver) submitBurst(cmds []nvme.Command) ([]nvme.Completion, error) {
 			end = devEnd.Add(d.link.Model.CommandRoundTrip)
 		}
 		d.clock.AdvanceTo(end)
+		if d.tr != nil {
+			d.tr.Emit(trace.Event{Cat: trace.CatDriver, Name: trace.EvBurst, Op: byte(chunk[0].Opcode()), Start: t0, End: d.clock.Now(), Arg: int64(n)})
+		}
 	}
 	return out, nil
 }
@@ -300,7 +321,12 @@ func (d *Driver) Put(key, value []byte) error {
 		return err
 	}
 	d.stats.Puts.Inc()
-	d.stats.WriteResponse.Observe(float64(d.clock.Now().Sub(start)))
+	now := d.clock.Now()
+	d.stats.WriteResponse.Observe(float64(now.Sub(start)))
+	d.stats.PerMethod.Observe(mode.String(), float64(now.Sub(start)))
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{Cat: trace.CatDriver, Name: trace.EvPut, Op: byte(nvme.OpKVWrite), Start: start, End: now, Bytes: int64(len(value)), Arg: int64(mode)})
+	}
 	return nil
 }
 
@@ -506,12 +532,17 @@ func (d *Driver) Get(key []byte) ([]byte, error) {
 		return nil, err
 	}
 	d.stats.Gets.Inc()
-	d.stats.ReadResponse.Observe(float64(d.clock.Now().Sub(start)))
+	now := d.clock.Now()
+	d.stats.ReadResponse.Observe(float64(now.Sub(start)))
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{Cat: trace.CatDriver, Name: trace.EvGet, Op: byte(nvme.OpKVRead), Start: start, End: now, Bytes: int64(n)})
+	}
 	return data[:n], nil
 }
 
 // Delete removes a key.
 func (d *Driver) Delete(key []byte) error {
+	start := d.clock.Now()
 	var cmd nvme.Command
 	cmd.SetOpcode(nvme.OpKVDelete)
 	cmd.SetCommandID(d.allocID())
@@ -526,6 +557,9 @@ func (d *Driver) Delete(key []byte) error {
 		return err
 	}
 	d.stats.Deletes.Inc()
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{Cat: trace.CatDriver, Name: trace.EvDelete, Op: byte(nvme.OpKVDelete), Start: start, End: d.clock.Now()})
+	}
 	return nil
 }
 
@@ -548,8 +582,9 @@ func (d *Driver) Seek(start []byte) error {
 	return nil
 }
 
-// ErrIterDone reports an exhausted device-side iterator.
-var ErrIterDone = fmt.Errorf("driver: iterator exhausted")
+// ErrIterDone reports an exhausted device-side iterator. It is a sentinel:
+// match it with errors.Is, including through wrapped returns.
+var ErrIterDone = errors.New("driver: iterator exhausted")
 
 // Next returns the device iterator's current pair and advances it.
 func (d *Driver) Next() (key, value []byte, err error) {

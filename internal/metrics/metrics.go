@@ -234,6 +234,83 @@ func (h *Histogram) Reset() {
 	h.w.Reset()
 }
 
+// Summary is a point-in-time digest of a Histogram: the numbers a snapshot
+// API can carry without exposing the live accumulator.
+type Summary struct {
+	Count          int64
+	Mean, P50, P99 float64
+	Min, Max       float64
+}
+
+// Summary digests the histogram's current samples.
+func (h *Histogram) Summary() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.P50(),
+		P99:   h.P99(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+	}
+}
+
+// HistogramSet keys histograms by label (an opcode, a transfer method),
+// creating them on first observation. Iteration order is insertion order, so
+// exports built from a deterministic run are themselves deterministic. The
+// zero value is NOT ready; use NewHistogramSet.
+type HistogramSet struct {
+	names []string
+	m     map[string]*Histogram
+}
+
+// NewHistogramSet returns an empty set.
+func NewHistogramSet() *HistogramSet {
+	return &HistogramSet{m: make(map[string]*Histogram)}
+}
+
+// Observe records one sample under name, creating the histogram if needed.
+func (s *HistogramSet) Observe(name string, x float64) {
+	h, ok := s.m[name]
+	if !ok {
+		h = NewHistogram()
+		s.m[name] = h
+		s.names = append(s.names, name)
+	}
+	h.Observe(x)
+}
+
+// Get returns the histogram for name, or nil if nothing was observed under
+// it.
+func (s *HistogramSet) Get(name string) *Histogram { return s.m[name] }
+
+// Names lists the labels in first-observation order.
+func (s *HistogramSet) Names() []string {
+	return append([]string(nil), s.names...)
+}
+
+// Merge folds other's histograms into s, creating labels as needed.
+func (s *HistogramSet) Merge(other *HistogramSet) {
+	if other == nil {
+		return
+	}
+	for _, name := range other.names {
+		h, ok := s.m[name]
+		if !ok {
+			h = NewHistogram()
+			s.m[name] = h
+			s.names = append(s.names, name)
+		}
+		h.Merge(other.m[name])
+	}
+}
+
+// Reset clears every histogram but keeps the label order.
+func (s *HistogramSet) Reset() {
+	for _, h := range s.m {
+		h.Reset()
+	}
+}
+
 // FormatBytes renders a byte count with a binary-unit suffix ("3.88 GiB").
 func FormatBytes(n int64) string {
 	const unit = 1024

@@ -9,6 +9,7 @@ import (
 
 	"bandslim/internal/metrics"
 	"bandslim/internal/sim"
+	"bandslim/internal/trace"
 )
 
 // Geometry describes a flash array. All counts are per the next level up:
@@ -123,6 +124,7 @@ type Array struct {
 	wear  []int32        // erase count per block
 	data  map[int][]byte // page index -> contents (lazy)
 	stats Stats
+	tr    trace.Tracer
 	// faultEvery injects a program failure every N-th program when > 0
 	// (test hook for error-path coverage).
 	faultEvery int64
@@ -171,6 +173,9 @@ func (a *Array) Stats() *Stats { return &a.stats }
 // SetFaultEvery makes every n-th program operation fail (0 disables).
 func (a *Array) SetFaultEvery(n int64) { a.faultEvery = n }
 
+// SetTracer enables program/read/erase span tracing; nil turns it back off.
+func (a *Array) SetTracer(tr trace.Tracer) { a.tr = tr }
+
 func (a *Array) wayIndex(ch, way int) int { return ch*a.geo.WaysPerChannel + way }
 
 func (a *Array) pageIndex(p PageAddr) (int, error) {
@@ -217,7 +222,11 @@ func (a *Array) Program(t sim.Time, p PageAddr, data []byte) (sim.Time, error) {
 	a.state[idx] = pageProgrammed
 	a.stats.PageWrites.Inc()
 	a.stats.BytesWritten.Add(int64(a.geo.PageSize)) // NAND programs whole pages
-	_, end := a.ways[a.wayIndex(p.Channel, p.Way)].Schedule(t, a.lat.Prog)
+	way := a.wayIndex(p.Channel, p.Way)
+	start, end := a.ways[way].Schedule(t, a.lat.Prog)
+	if a.tr != nil {
+		a.tr.Emit(trace.Event{Cat: trace.CatNAND, Name: trace.EvProgram, Start: start, End: end, Bytes: int64(a.geo.PageSize), Arg: int64(way)})
+	}
 	return end, nil
 }
 
@@ -231,7 +240,11 @@ func (a *Array) Read(t sim.Time, p PageAddr) ([]byte, sim.Time, error) {
 	}
 	a.stats.PageReads.Inc()
 	a.stats.BytesRead.Add(int64(a.geo.PageSize))
-	_, end := a.ways[a.wayIndex(p.Channel, p.Way)].Schedule(t, a.lat.Read)
+	way := a.wayIndex(p.Channel, p.Way)
+	start, end := a.ways[way].Schedule(t, a.lat.Read)
+	if a.tr != nil {
+		a.tr.Emit(trace.Event{Cat: trace.CatNAND, Name: trace.EvRead, Start: start, End: end, Bytes: int64(a.geo.PageSize), Arg: int64(way)})
+	}
 	if a.state[idx] == pageErased {
 		return make([]byte, a.geo.PageSize), end, nil
 	}
@@ -254,7 +267,11 @@ func (a *Array) Erase(t sim.Time, b BlockAddr) (sim.Time, error) {
 	}
 	a.wear[bi]++
 	a.stats.BlockErases.Inc()
-	_, end := a.ways[a.wayIndex(b.Channel, b.Way)].Schedule(t, a.lat.Erase)
+	way := a.wayIndex(b.Channel, b.Way)
+	start, end := a.ways[way].Schedule(t, a.lat.Erase)
+	if a.tr != nil {
+		a.tr.Emit(trace.Event{Cat: trace.CatNAND, Name: trace.EvErase, Start: start, End: end, Arg: int64(way)})
+	}
 	return end, nil
 }
 

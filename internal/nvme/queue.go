@@ -3,6 +3,9 @@ package nvme
 import (
 	"errors"
 	"fmt"
+
+	"bandslim/internal/sim"
+	"bandslim/internal/trace"
 )
 
 // Status is a completion status code.
@@ -68,6 +71,8 @@ type SubmissionQueue struct {
 	head    uint16 // consumer (controller)
 	tail    uint16 // producer (host)
 	dbTail  uint16 // last doorbell value the controller observed
+	clock   *sim.Clock
+	tr      trace.Tracer
 }
 
 // NewSubmissionQueue returns a ring with the given number of slots.
@@ -94,6 +99,10 @@ func (q *SubmissionQueue) Push(c Command) error {
 	}
 	q.entries[q.tail] = c
 	q.tail = q.next(q.tail)
+	if q.tr != nil {
+		now := q.clock.Now()
+		q.tr.Emit(trace.Event{Cat: trace.CatNVMe, Name: trace.EvSQPush, Op: byte(c.Opcode()), Start: now, End: now, Arg: int64(c.CommandID())})
+	}
 	return nil
 }
 
@@ -122,6 +131,10 @@ func (q *SubmissionQueue) Fetch() (Command, error) {
 	}
 	c := q.entries[q.head]
 	q.head = q.next(q.head)
+	if q.tr != nil {
+		now := q.clock.Now()
+		q.tr.Emit(trace.Event{Cat: trace.CatNVMe, Name: trace.EvSQFetch, Op: byte(c.Opcode()), Start: now, End: now, Arg: int64(c.CommandID())})
+	}
 	return c, nil
 }
 
@@ -134,6 +147,8 @@ type CompletionQueue struct {
 	entries []Completion
 	head    uint16 // consumer (host)
 	tail    uint16 // producer (controller)
+	clock   *sim.Clock
+	tr      trace.Tracer
 }
 
 // NewCompletionQueue returns a ring with the given number of slots.
@@ -158,6 +173,10 @@ func (q *CompletionQueue) Post(c Completion) error {
 	}
 	q.entries[q.tail] = c
 	q.tail = q.next(q.tail)
+	if q.tr != nil {
+		now := q.clock.Now()
+		q.tr.Emit(trace.Event{Cat: trace.CatNVMe, Name: trace.EvCQPost, Start: now, End: now, Arg: int64(c.CommandID)})
+	}
 	return nil
 }
 
@@ -170,6 +189,10 @@ func (q *CompletionQueue) Reap() (Completion, error) {
 	}
 	c := q.entries[q.head]
 	q.head = q.next(q.head)
+	if q.tr != nil {
+		now := q.clock.Now()
+		q.tr.Emit(trace.Event{Cat: trace.CatNVMe, Name: trace.EvCQReap, Start: now, End: now, Arg: int64(c.CommandID)})
+	}
 	return c, nil
 }
 
@@ -198,4 +221,11 @@ func NewQueuePair(depth int) *QueuePair {
 		SQ: NewSubmissionQueue(depth),
 		CQ: NewCompletionQueue(depth),
 	}
+}
+
+// Attach enables ring-transition tracing on both queues, stamping events
+// with the clock's simulated time. A nil tracer turns tracing back off.
+func (qp *QueuePair) Attach(clock *sim.Clock, tr trace.Tracer) {
+	qp.SQ.clock, qp.SQ.tr = clock, tr
+	qp.CQ.clock, qp.CQ.tr = clock, tr
 }

@@ -28,6 +28,7 @@ import (
 	"bandslim/internal/metrics"
 	"bandslim/internal/pcie"
 	"bandslim/internal/sim"
+	"bandslim/internal/trace"
 )
 
 // Policy selects the packing behaviour.
@@ -131,6 +132,7 @@ type Buffer struct {
 	// (§2.2) and produces the paper's Fig. 4/11/12 response shapes.
 	lastFlushEnd sim.Time
 	stats        Stats
+	tr           trace.Tracer
 }
 
 // New returns a buffer. eng accounts memcpy costs; flush persists pages.
@@ -152,6 +154,9 @@ func New(cfg Config, eng *dma.Engine, flush FlushFunc) (*Buffer, error) {
 
 // Stats exposes the buffer's tallies.
 func (b *Buffer) Stats() *Stats { return &b.stats }
+
+// SetTracer enables placement/flush tracing; nil turns it back off.
+func (b *Buffer) SetTracer(tr trace.Tracer) { b.tr = tr }
 
 // Policy reports the active packing policy.
 func (b *Buffer) Policy() Policy { return b.cfg.Policy }
@@ -271,6 +276,9 @@ func (b *Buffer) PlacePiggybacked(t sim.Time, value []byte) (int64, sim.Time, er
 			b.dlt.Consume()
 			b.stats.BackfillJumps.Inc()
 			b.stats.DLTConsumed.Inc()
+			if b.tr != nil {
+				b.tr.Emit(trace.Event{Cat: trace.CatPageBuf, Name: trace.EvBackfillJump, Start: t, End: t, Arg: b.wp})
+			}
 		}
 		addr = b.wp
 		b.wp += int64(len(value))
@@ -285,6 +293,9 @@ func (b *Buffer) PlacePiggybacked(t sim.Time, value []byte) (int64, sim.Time, er
 	b.stats.CopiedBytes.Add(int64(len(value)))
 	b.stats.PiggyPlacements.Inc()
 	b.stats.PayloadBytes.Add(int64(len(value)))
+	if b.tr != nil {
+		b.tr.Emit(trace.Event{Cat: trace.CatPageBuf, Name: trace.EvPiggyAppend, Start: t, End: t, Bytes: int64(len(value)), Arg: addr})
+	}
 	end, err := b.retirePages(t, false)
 	if err != nil {
 		return 0, t, err
@@ -349,6 +360,9 @@ func (b *Buffer) PlaceDMA(t sim.Time, value []byte) (int64, sim.Time, error) {
 	}
 	b.stats.DMAPlacements.Inc()
 	b.stats.PayloadBytes.Add(int64(len(value)))
+	if b.tr != nil {
+		b.tr.Emit(trace.Event{Cat: trace.CatPageBuf, Name: trace.EvDMAAppend, Start: t, End: t, Bytes: int64(len(value)), Arg: addr})
+	}
 	end, err := b.retirePages(t, false)
 	if err != nil {
 		return 0, t, err
@@ -374,6 +388,9 @@ func (b *Buffer) retirePages(t sim.Time, all bool) (sim.Time, error) {
 	// Enforce the entry cap: the window spans minOpen..pageOf(frontier-1).
 	for b.openWindow() > int64(b.cfg.MaxEntries) {
 		b.stats.ForcedFlushes.Inc()
+		if b.tr != nil {
+			b.tr.Emit(trace.Event{Cat: trace.CatPageBuf, Name: trace.EvForcedFlush, Start: t, End: t, Arg: b.minOpen})
+		}
 		e, err := b.forceFlushOldest(t)
 		if err != nil {
 			return end, err
@@ -424,6 +441,9 @@ func (b *Buffer) flushOldest(t sim.Time) (sim.Time, error) {
 		return t, fmt.Errorf("pagebuf: flush page %d: %w", no, err)
 	}
 	b.lastFlushEnd = end
+	if b.tr != nil {
+		b.tr.Emit(trace.Event{Cat: trace.CatPageBuf, Name: trace.EvFlush, Start: handoff, End: end, Bytes: int64(b.cfg.PageSize), Arg: no})
+	}
 	delete(b.pages, no)
 	b.minOpen++
 	b.stats.Flushes.Inc()

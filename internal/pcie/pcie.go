@@ -12,6 +12,7 @@ package pcie
 import (
 	"bandslim/internal/metrics"
 	"bandslim/internal/sim"
+	"bandslim/internal/trace"
 )
 
 // Wire sizes fixed by the NVMe/PCIe protocol as the paper counts them.
@@ -144,21 +145,39 @@ type Link struct {
 	Model CostModel
 	Traf  Traffic
 	wire  sim.BusyLine
+	// clock and tr power command-level tracing; nil tr disables it and the
+	// record methods pay only a branch.
+	clock *sim.Clock
+	tr    trace.Tracer
 }
 
 // NewLink returns a link with the given cost model.
 func NewLink(m CostModel) *Link { return &Link{Model: m} }
 
+// Attach enables tracing: record methods stamp events with the clock's
+// current simulated time. A nil tracer turns tracing back off.
+func (l *Link) Attach(clock *sim.Clock, tr trace.Tracer) {
+	l.clock, l.tr = clock, tr
+}
+
 // RecordCommandFetch accounts for the device fetching one 64 B command.
 func (l *Link) RecordCommandFetch() {
 	l.Traf.CommandBytes.Add(CommandSize)
 	l.Traf.Commands.Inc()
+	if l.tr != nil {
+		now := l.clock.Now()
+		l.tr.Emit(trace.Event{Cat: trace.CatPCIe, Name: trace.EvCmdFetch, Start: now, End: now, Bytes: CommandSize})
+	}
 }
 
 // RecordDoorbell accounts for one host doorbell MMIO write.
 func (l *Link) RecordDoorbell() {
 	l.Traf.MMIOBytes.Add(DoorbellSize)
 	l.Traf.Doorbells.Inc()
+	if l.tr != nil {
+		now := l.clock.Now()
+		l.tr.Emit(trace.Event{Cat: trace.CatPCIe, Name: trace.EvDoorbell, Start: now, End: now, Bytes: DoorbellSize})
+	}
 }
 
 // RecordCompletion accounts for the device posting one completion entry.

@@ -24,6 +24,7 @@ import (
 	"bandslim/internal/nvme"
 	"bandslim/internal/pcie"
 	"bandslim/internal/sim"
+	"bandslim/internal/trace"
 )
 
 // Options assemble one stack. The caller normalizes defaults (device
@@ -34,6 +35,10 @@ type Options struct {
 	Method     driver.Method
 	Thresholds driver.Thresholds
 	Pipelined  bool
+	// Tracer, when non-nil, receives every command-level event the stack
+	// emits, stamped with ShardID. Nil keeps the zero-cost disabled path.
+	Tracer  trace.Tracer
+	ShardID int
 }
 
 // Stack is one full simulated host+device pair: the components bandslim.DB
@@ -58,6 +63,11 @@ func NewStack(o Options) (*Stack, error) {
 	}
 	drv := driver.New(clock, link, mem, dev, o.Method, o.Thresholds)
 	drv.SetPipelined(o.Pipelined)
+	if tr := trace.WithShard(o.Tracer, o.ShardID); tr != nil {
+		link.Attach(clock, tr)
+		dev.SetTracer(tr)
+		drv.SetTracer(tr)
+	}
 	return &Stack{Clock: clock, Link: link, Mem: mem, Dev: dev, Drv: drv}, nil
 }
 

@@ -1,0 +1,129 @@
+// Exporters for recorded event streams. Both formats are rendered with
+// integer-only arithmetic and a fixed key order, so a deterministic
+// simulation produces byte-identical output — the property the trace
+// determinism tests pin down.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Merge combines per-shard event streams into one, ordered by simulated
+// start time with (shard, seq) breaking ties. The result is deterministic
+// for deterministic inputs regardless of stream order.
+func Merge(streams ...[]Event) []Event {
+	var out []Event
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// WriteJSONL writes one JSON object per event, one per line, with a fixed
+// key order. Times are integer nanoseconds of simulated time.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		_, err := fmt.Fprintf(bw,
+			`{"seq":%d,"shard":%d,"cat":%q,"name":%q,"op":%d,"start_ns":%d,"end_ns":%d,"bytes":%d,"arg":%d}`+"\n",
+			e.Seq, e.Shard, e.Cat.String(), e.Name.String(), e.Op,
+			int64(e.Start), int64(e.End), e.Bytes, e.Arg)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// micros renders a nanosecond count as fixed-point microseconds ("12.345"),
+// the ts/dur unit of the Chrome trace_event format, without going through
+// floating point.
+func micros(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// WriteChromeTrace writes the events as Chrome trace_event JSON (the
+// {"traceEvents": [...]} envelope), loadable in Perfetto and
+// chrome://tracing. Each shard becomes a process and each subsystem a named
+// thread within it, so the per-request chain (command fetch → DMA → memcpy →
+// NAND program) reads top-to-bottom. Spans are "X" complete events;
+// instantaneous events (doorbells, ring transitions) are thread-scoped "i"
+// instants.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		if !first {
+			if _, err := io.WriteString(bw, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(bw, format, args...)
+		return err
+	}
+	// Name the processes (shards) and threads (subsystems) present.
+	shards := map[int32]bool{}
+	for _, e := range events {
+		shards[e.Shard] = true
+	}
+	ids := make([]int32, 0, len(shards))
+	for id := range shards {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"shard %d"}}`, id, id); err != nil {
+			return err
+		}
+		for c := Category(0); c < numCategories; c++ {
+			if err := emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`, id, uint8(c), c.String()); err != nil {
+				return err
+			}
+			// Sort indices pin the host→device layer order in the UI.
+			if err := emit(`{"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"args":{"sort_index":%d}}`, id, uint8(c), uint8(c)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range events {
+		args := fmt.Sprintf(`{"seq":%d,"op":%d,"bytes":%d,"arg":%d}`, e.Seq, e.Op, e.Bytes, e.Arg)
+		if e.End > e.Start {
+			if err := emit(`{"name":%q,"cat":%q,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":%s}`,
+				e.Name.String(), e.Cat.String(), e.Shard, uint8(e.Cat),
+				micros(int64(e.Start)), micros(int64(e.Duration())), args); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := emit(`{"name":%q,"cat":%q,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":%s}`,
+			e.Name.String(), e.Cat.String(), e.Shard, uint8(e.Cat),
+			micros(int64(e.Start)), args); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

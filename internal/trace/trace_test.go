@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"bandslim/internal/sim"
+)
+
+func ev(start, end sim.Time, cat Category, name Name) Event {
+	return Event{Cat: cat, Name: name, Start: start, End: end}
+}
+
+func TestRecorderOrderAndSeq(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 5; i++ {
+		r.Emit(ev(sim.Time(i), sim.Time(i), CatDriver, EvPut))
+	}
+	got := r.Events()
+	if len(got) != 5 || r.Len() != 5 {
+		t.Fatalf("len = %d/%d, want 5", len(got), r.Len())
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("seq[%d] = %d", i, e.Seq)
+		}
+		if e.Start != sim.Time(i) {
+			t.Fatalf("order broken at %d: %v", i, e.Start)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(ev(sim.Time(i), sim.Time(i), CatNAND, EvProgram))
+	}
+	got := r.Events()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	// The most recent window survives.
+	for i, e := range got {
+		if e.Start != sim.Time(6+i) {
+			t.Fatalf("kept wrong window: got start %v at %d", e.Start, i)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestRecorderConcurrentEmit(t *testing.T) {
+	r := NewRecorder(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(ev(0, 0, CatDMA, EvDMAIn))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("len = %d, want 800", r.Len())
+	}
+}
+
+func TestWithShardStampsAndNilPassthrough(t *testing.T) {
+	r := NewRecorder(4)
+	tr := WithShard(r, 3)
+	tr.Emit(ev(1, 2, CatPCIe, EvDoorbell))
+	if got := r.Events()[0].Shard; got != 3 {
+		t.Fatalf("shard = %d, want 3", got)
+	}
+	if WithShard(nil, 1) != nil {
+		t.Fatal("WithShard(nil) must stay nil so the disabled path stays free")
+	}
+}
+
+func TestMergeOrdersByTimeShardSeq(t *testing.T) {
+	a := []Event{
+		{Seq: 1, Shard: 1, Start: 10, End: 10},
+		{Seq: 2, Shard: 1, Start: 30, End: 30},
+	}
+	b := []Event{
+		{Seq: 1, Shard: 0, Start: 10, End: 10},
+		{Seq: 2, Shard: 0, Start: 20, End: 20},
+	}
+	m := Merge(a, b)
+	if len(m) != 4 {
+		t.Fatalf("len = %d", len(m))
+	}
+	// Same Start: lower shard first; then time order.
+	want := []struct {
+		shard int32
+		start sim.Time
+	}{{0, 10}, {1, 10}, {0, 20}, {1, 30}}
+	for i, w := range want {
+		if m[i].Shard != w.shard || m[i].Start != w.start {
+			t.Fatalf("m[%d] = shard %d @%v, want shard %d @%v",
+				i, m[i].Shard, m[i].Start, w.shard, w.start)
+		}
+	}
+	// Merge order must not matter.
+	m2 := Merge(b, a)
+	for i := range m {
+		if m[i] != m2[i] {
+			t.Fatalf("merge not stream-order independent at %d", i)
+		}
+	}
+}
+
+func TestWriteJSONLShape(t *testing.T) {
+	var buf bytes.Buffer
+	events := []Event{
+		{Seq: 1, Cat: CatDriver, Name: EvPut, Op: 0x81, Start: 0, End: 9000, Bytes: 32},
+		{Seq: 2, Cat: CatPCIe, Name: EvDoorbell, Start: 100, End: 100},
+	}
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &obj); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if obj["cat"] != "driver" || obj["name"] != "put" || obj["end_ns"] != float64(9000) {
+		t.Fatalf("bad line: %v", obj)
+	}
+}
+
+func TestWriteChromeTraceParsesAndNames(t *testing.T) {
+	var buf bytes.Buffer
+	events := []Event{
+		{Seq: 1, Shard: 0, Cat: CatDriver, Name: EvPut, Start: 0, End: 9000, Bytes: 4128},
+		{Seq: 2, Shard: 1, Cat: CatNAND, Name: EvProgram, Start: 500, End: 400500},
+		{Seq: 3, Shard: 0, Cat: CatPCIe, Name: EvDoorbell, Start: 10, End: 10},
+	}
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var spans, instants, meta int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			spans++
+			if e["dur"] == nil {
+				t.Fatalf("span without dur: %v", e)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if spans != 2 || instants != 1 || meta == 0 {
+		t.Fatalf("spans=%d instants=%d meta=%d", spans, instants, meta)
+	}
+}
+
+func TestMicrosFixedPoint(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0.000",
+		999:     "0.999",
+		1000:    "1.000",
+		1234567: "1234.567",
+	}
+	for ns, want := range cases {
+		if got := micros(ns); got != want {
+			t.Fatalf("micros(%d) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+func TestCategoryAndNameStrings(t *testing.T) {
+	if CatPageBuf.String() != "pagebuf" || EvForcedFlush.String() != "forced_flush" {
+		t.Fatal("string mappings broken")
+	}
+	if Category(200).String() == "" || Name(200).String() == "" {
+		t.Fatal("unknown values must still render")
+	}
+}

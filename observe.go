@@ -1,0 +1,88 @@
+// Observability surface: the command-level trace subsystem behind
+// Config.Tracer.
+//
+// The simulator's components — driver, PCIe link, NVMe rings, DMA engine,
+// NAND page buffer, flash array — each emit typed events stamped with
+// simulated time when a Tracer is configured. With Config.Tracer nil (the
+// default) every emission site is a single pointer nil check, so tracing has
+// no measurable cost when disabled.
+//
+// Quick start:
+//
+//	rec := bandslim.NewRecorder(1 << 20)
+//	cfg := bandslim.DefaultConfig()
+//	cfg.Tracer = rec
+//	db, _ := bandslim.Open(cfg)
+//	// ... workload ...
+//	f, _ := os.Create("trace.json")
+//	bandslim.WriteChromeTrace(f, rec.TraceEvents())
+//
+// The resulting file loads in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing: each shard renders as a process, each subsystem as a
+// thread, and one over-threshold PUT reads top-to-bottom as command fetch →
+// DMA → memcpy → NAND program.
+package bandslim
+
+import (
+	"io"
+
+	"bandslim/internal/trace"
+)
+
+// Tracer receives command-level events. Implementations must be safe for
+// use from the goroutine running the simulation (ShardedDB shards emit from
+// their worker goroutines, each wrapped to stamp its shard id).
+type Tracer = trace.Tracer
+
+// TraceEvent is one traced occurrence: a span (End > Start) such as a DMA
+// transfer or NAND program, or an instant (End == Start) such as a doorbell
+// write. Times are simulated nanoseconds.
+type TraceEvent = trace.Event
+
+// Recorder is a mutex-protected ring buffer Tracer: when full it evicts the
+// oldest events and counts them as dropped.
+type Recorder struct {
+	rec *trace.Recorder
+}
+
+// NewRecorder returns a ring-buffered Tracer keeping the most recent
+// capacity events (at least 1).
+func NewRecorder(capacity int) *Recorder {
+	return &Recorder{rec: trace.NewRecorder(capacity)}
+}
+
+// Emit records one event; it implements Tracer.
+func (r *Recorder) Emit(ev TraceEvent) { r.rec.Emit(ev) }
+
+// TraceEvents returns the buffered events in emission order.
+func (r *Recorder) TraceEvents() []TraceEvent { return r.rec.Events() }
+
+// Len reports how many events are buffered.
+func (r *Recorder) Len() int { return r.rec.Len() }
+
+// Dropped reports how many events the ring evicted.
+func (r *Recorder) Dropped() int64 { return r.rec.Dropped() }
+
+// Reset clears the buffer and the dropped count.
+func (r *Recorder) Reset() { r.rec.Reset() }
+
+// MergeTraces combines per-shard event streams into one, ordered by
+// simulated start time with (shard, seq) breaking ties; the result is
+// independent of stream order.
+func MergeTraces(streams ...[]TraceEvent) []TraceEvent {
+	return trace.Merge(streams...)
+}
+
+// WriteTraceJSONL writes one JSON object per event, one per line, with a
+// fixed key order and integer nanosecond timestamps. A deterministic run
+// produces byte-identical output.
+func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
+	return trace.WriteJSONL(w, events)
+}
+
+// WriteChromeTrace writes the events as Chrome trace_event JSON, loadable in
+// Perfetto and chrome://tracing. Shards become processes; subsystems become
+// threads ordered host→device.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return trace.WriteChromeTrace(w, events)
+}

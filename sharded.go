@@ -7,6 +7,7 @@ import (
 	"bandslim/internal/metrics"
 	"bandslim/internal/shard"
 	"bandslim/internal/sim"
+	"bandslim/internal/trace"
 )
 
 // partitionSeed keys the shard partitioner. Fixed, so a given key always
@@ -20,8 +21,13 @@ type ShardedConfig struct {
 	// NVMe queue pair, driver, and device, driven by its own goroutine.
 	Shards int
 	// PerShard configures every shard's stack, with the same semantics and
-	// defaults as Open.
+	// defaults as Open. A non-nil PerShard.Tracer is shared by every shard
+	// (events carry shard ids); it must be safe for concurrent use.
 	PerShard Config
+	// TraceCapacity, when > 0, gives every shard its own ring-buffered
+	// recorder of that capacity and overrides PerShard.Tracer. Read the
+	// merged stream with TraceEvents.
+	TraceCapacity int
 }
 
 // DefaultShardedConfig returns the paper's headline per-shard configuration
@@ -54,6 +60,7 @@ type ShardedDB struct {
 	cfg    ShardedConfig
 	shards []*shard.Shard
 	part   *shard.Partitioner
+	recs   []*trace.Recorder // per-shard recorders (TraceCapacity > 0)
 	closed bool
 }
 
@@ -68,8 +75,16 @@ func OpenSharded(cfg ShardedConfig) (*ShardedDB, error) {
 	}
 	opts := stackOptions(cfg.PerShard)
 	shards := make([]*shard.Shard, cfg.Shards)
+	var recs []*trace.Recorder
 	for i := range shards {
-		sh, err := shard.New(i, opts)
+		o := opts
+		o.ShardID = i
+		if cfg.TraceCapacity > 0 {
+			rec := trace.NewRecorder(cfg.TraceCapacity)
+			recs = append(recs, rec)
+			o.Tracer = rec
+		}
+		sh, err := shard.New(i, o)
 		if err != nil {
 			for _, open := range shards[:i] {
 				open.Close()
@@ -78,7 +93,53 @@ func OpenSharded(cfg ShardedConfig) (*ShardedDB, error) {
 		}
 		shards[i] = sh
 	}
-	return &ShardedDB{cfg: cfg, shards: shards, part: part}, nil
+	return &ShardedDB{cfg: cfg, shards: shards, part: part, recs: recs}, nil
+}
+
+// TraceEvents merges the per-shard recorders (TraceCapacity > 0) into one
+// stream ordered by simulated start time, with (shard, seq) breaking ties.
+// It returns nil when tracing was not enabled through TraceCapacity.
+func (s *ShardedDB) TraceEvents() []TraceEvent {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.recs) == 0 {
+		return nil
+	}
+	streams := make([][]TraceEvent, len(s.recs))
+	for i, rec := range s.recs {
+		streams[i] = rec.Events()
+	}
+	return MergeTraces(streams...)
+}
+
+// SetMethod switches the transfer method on every shard. It fails with
+// ErrClosed after Close.
+func (s *ShardedDB) SetMethod(m TransferMethod) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, sh := range s.shards {
+		sh := sh
+		sh.Do(func() { sh.Stack().Drv.SetMethod(m) })
+	}
+	return nil
+}
+
+// SetThresholds replaces the adaptive calibration on every shard. It fails
+// with ErrClosed after Close.
+func (s *ShardedDB) SetThresholds(t Thresholds) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for _, sh := range s.shards {
+		sh := sh
+		sh.Do(func() { sh.Stack().Drv.SetThresholds(t) })
+	}
+	return nil
 }
 
 // NumShards reports the shard count.
@@ -240,49 +301,48 @@ func mergeSnapshots(snaps []shardSnapshot) Stats {
 	var flushed int64
 	for _, sn := range snaps {
 		p := sn.stats
-		out.Puts += p.Puts
-		out.Gets += p.Gets
-		out.Deletes += p.Deletes
-		out.Commands += p.Commands
-		out.PCIeBytes += p.PCIeBytes
-		out.PCIeTotalBytes += p.PCIeTotalBytes
-		out.PCIeDMABytes += p.PCIeDMABytes
-		out.PCIeCmdBytes += p.PCIeCmdBytes
-		out.MMIOBytes += p.MMIOBytes
-		out.CompletionBytes += p.CompletionBytes
-		out.NANDPageWrites += p.NANDPageWrites
-		out.NANDPageReads += p.NANDPageReads
-		out.BlockErases += p.BlockErases
-		out.VLogFlushes += p.VLogFlushes
-		out.ForcedFlushes += p.ForcedFlushes
-		out.BackfillJumps += p.BackfillJumps
-		out.MemcpyTime += p.MemcpyTime
-		out.FlushWaitTime += p.FlushWaitTime
-		out.Memcpys += p.Memcpys
-		out.GCWrites += p.GCWrites
-		out.Compactions += p.Compactions
-		out.InlineChosen += p.InlineChosen
-		out.PRPChosen += p.PRPChosen
-		out.HybridChosen += p.HybridChosen
-		if p.Elapsed > out.Elapsed {
-			out.Elapsed = p.Elapsed
+		out.Host.Puts += p.Host.Puts
+		out.Host.Gets += p.Host.Gets
+		out.Host.Deletes += p.Host.Deletes
+		out.Host.Commands += p.Host.Commands
+		out.PCIe.Bytes += p.PCIe.Bytes
+		out.PCIe.TotalBytes += p.PCIe.TotalBytes
+		out.PCIe.DMABytes += p.PCIe.DMABytes
+		out.PCIe.CommandBytes += p.PCIe.CommandBytes
+		out.PCIe.MMIOBytes += p.PCIe.MMIOBytes
+		out.PCIe.CompletionBytes += p.PCIe.CompletionBytes
+		out.Device.NANDPageWrites += p.Device.NANDPageWrites
+		out.Device.NANDPageReads += p.Device.NANDPageReads
+		out.Device.BlockErases += p.Device.BlockErases
+		out.Device.VLogFlushes += p.Device.VLogFlushes
+		out.Device.ForcedFlushes += p.Device.ForcedFlushes
+		out.Device.BackfillJumps += p.Device.BackfillJumps
+		out.Device.MemcpyTime += p.Device.MemcpyTime
+		out.Device.FlushWaitTime += p.Device.FlushWaitTime
+		out.Device.Memcpys += p.Device.Memcpys
+		out.Device.GCWrites += p.Device.GCWrites
+		out.Device.Compactions += p.Device.Compactions
+		out.Adaptive.Inline += p.Adaptive.Inline
+		out.Adaptive.PRP += p.Adaptive.PRP
+		out.Adaptive.Hybrid += p.Adaptive.Hybrid
+		if p.Host.Elapsed > out.Host.Elapsed {
+			out.Host.Elapsed = p.Host.Elapsed
 		}
 		write.Merge(sn.write)
 		read.Merge(sn.read)
 		flushed += sn.bufFlushed
 	}
-	out.WriteRespMean = sim.Duration(write.Mean())
-	out.WriteRespP99 = sim.Duration(write.P99())
-	out.ReadRespMean = sim.Duration(read.Mean())
+	out.Host.WriteResp = latencySummary(write)
+	out.Host.ReadResp = latencySummary(read)
 	if flushed > 0 {
 		var weighted float64
 		for _, sn := range snaps {
-			weighted += sn.stats.BufferUtil * float64(sn.bufFlushed)
+			weighted += sn.stats.Device.BufferUtil * float64(sn.bufFlushed)
 		}
-		out.BufferUtil = weighted / float64(flushed)
+		out.Device.BufferUtil = weighted / float64(flushed)
 	}
-	if out.Elapsed > 0 && out.Puts > 0 {
-		out.ThroughputKops = float64(out.Puts) / out.Elapsed.Seconds() / 1000
+	if out.Host.Elapsed > 0 && out.Host.Puts > 0 {
+		out.Host.ThroughputKops = float64(out.Host.Puts) / out.Host.Elapsed.Seconds() / 1000
 	}
 	return out
 }

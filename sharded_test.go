@@ -67,29 +67,29 @@ func TestShardedSingleShardMatchesDB(t *testing.T) {
 		name string
 		x, y int64
 	}{
-		{"Puts", a.Puts, b.Puts},
-		{"Commands", a.Commands, b.Commands},
-		{"PCIeBytes", a.PCIeBytes, b.PCIeBytes},
-		{"PCIeTotalBytes", a.PCIeTotalBytes, b.PCIeTotalBytes},
-		{"PCIeDMABytes", a.PCIeDMABytes, b.PCIeDMABytes},
-		{"PCIeCmdBytes", a.PCIeCmdBytes, b.PCIeCmdBytes},
-		{"MMIOBytes", a.MMIOBytes, b.MMIOBytes},
-		{"CompletionBytes", a.CompletionBytes, b.CompletionBytes},
-		{"NANDPageWrites", a.NANDPageWrites, b.NANDPageWrites},
-		{"VLogFlushes", a.VLogFlushes, b.VLogFlushes},
-		{"InlineChosen", a.InlineChosen, b.InlineChosen},
-		{"PRPChosen", a.PRPChosen, b.PRPChosen},
-		{"HybridChosen", a.HybridChosen, b.HybridChosen},
-		{"Elapsed", int64(a.Elapsed), int64(b.Elapsed)},
+		{"Puts", a.Host.Puts, b.Host.Puts},
+		{"Commands", a.Host.Commands, b.Host.Commands},
+		{"PCIeBytes", a.PCIe.Bytes, b.PCIe.Bytes},
+		{"PCIeTotalBytes", a.PCIe.TotalBytes, b.PCIe.TotalBytes},
+		{"PCIeDMABytes", a.PCIe.DMABytes, b.PCIe.DMABytes},
+		{"PCIeCmdBytes", a.PCIe.CommandBytes, b.PCIe.CommandBytes},
+		{"MMIOBytes", a.PCIe.MMIOBytes, b.PCIe.MMIOBytes},
+		{"CompletionBytes", a.PCIe.CompletionBytes, b.PCIe.CompletionBytes},
+		{"NANDPageWrites", a.Device.NANDPageWrites, b.Device.NANDPageWrites},
+		{"VLogFlushes", a.Device.VLogFlushes, b.Device.VLogFlushes},
+		{"InlineChosen", a.Adaptive.Inline, b.Adaptive.Inline},
+		{"PRPChosen", a.Adaptive.PRP, b.Adaptive.PRP},
+		{"HybridChosen", a.Adaptive.Hybrid, b.Adaptive.Hybrid},
+		{"Elapsed", int64(a.Host.Elapsed), int64(b.Host.Elapsed)},
 	}
 	for _, c := range checks {
 		if c.x != c.y {
 			t.Errorf("%s diverged: DB=%d ShardedDB=%d", c.name, c.x, c.y)
 		}
 	}
-	if a.WriteRespMean != b.WriteRespMean || a.WriteRespP99 != b.WriteRespP99 {
+	if a.Host.WriteResp.Mean != b.Host.WriteResp.Mean || a.Host.WriteResp.P99 != b.Host.WriteResp.P99 {
 		t.Errorf("latency diverged: DB mean=%v p99=%v, ShardedDB mean=%v p99=%v",
-			a.WriteRespMean, a.WriteRespP99, b.WriteRespMean, b.WriteRespP99)
+			a.Host.WriteResp.Mean, a.Host.WriteResp.P99, b.Host.WriteResp.Mean, b.Host.WriteResp.P99)
 	}
 	if db.Now() != s.Now() {
 		t.Errorf("clocks diverged: DB=%v ShardedDB=%v", db.Now(), s.Now())
@@ -151,12 +151,12 @@ func TestShardedPartitionStable(t *testing.T) {
 	}
 	var puts int64
 	for i := 0; i < s.NumShards(); i++ {
-		puts += s.ShardStats(i).Puts
+		puts += s.ShardStats(i).Host.Puts
 	}
 	if puts != 512 {
 		t.Fatalf("per-shard Puts sum to %d, want 512", puts)
 	}
-	if got := s.Stats().Puts; got != 512 {
+	if got := s.Stats().Host.Puts; got != 512 {
 		t.Fatalf("aggregate Puts = %d, want 512", got)
 	}
 }
@@ -202,36 +202,36 @@ func TestShardedStatsAggregation(t *testing.T) {
 	var maxElapsed sim.Duration
 	for i := 0; i < s.NumShards(); i++ {
 		p := s.ShardStats(i)
-		sum.Puts += p.Puts
-		sum.Commands += p.Commands
-		sum.PCIeBytes += p.PCIeBytes
-		sum.PCIeTotalBytes += p.PCIeTotalBytes
-		sum.NANDPageWrites += p.NANDPageWrites
-		sum.VLogFlushes += p.VLogFlushes
-		if p.Elapsed > maxElapsed {
-			maxElapsed = p.Elapsed
+		sum.Host.Puts += p.Host.Puts
+		sum.Host.Commands += p.Host.Commands
+		sum.PCIe.Bytes += p.PCIe.Bytes
+		sum.PCIe.TotalBytes += p.PCIe.TotalBytes
+		sum.Device.NANDPageWrites += p.Device.NANDPageWrites
+		sum.Device.VLogFlushes += p.Device.VLogFlushes
+		if p.Host.Elapsed > maxElapsed {
+			maxElapsed = p.Host.Elapsed
 		}
 	}
-	if agg.Puts != sum.Puts || agg.Puts != 400 {
-		t.Errorf("Puts: aggregate %d, shard sum %d, want 400", agg.Puts, sum.Puts)
+	if agg.Host.Puts != sum.Host.Puts || agg.Host.Puts != 400 {
+		t.Errorf("Puts: aggregate %d, shard sum %d, want 400", agg.Host.Puts, sum.Host.Puts)
 	}
-	if agg.Commands != sum.Commands {
-		t.Errorf("Commands: aggregate %d, shard sum %d", agg.Commands, sum.Commands)
+	if agg.Host.Commands != sum.Host.Commands {
+		t.Errorf("Commands: aggregate %d, shard sum %d", agg.Host.Commands, sum.Host.Commands)
 	}
-	if agg.PCIeBytes != sum.PCIeBytes || agg.PCIeTotalBytes != sum.PCIeTotalBytes {
+	if agg.PCIe.Bytes != sum.PCIe.Bytes || agg.PCIe.TotalBytes != sum.PCIe.TotalBytes {
 		t.Errorf("PCIe ledgers: aggregate %d/%d, shard sums %d/%d",
-			agg.PCIeBytes, agg.PCIeTotalBytes, sum.PCIeBytes, sum.PCIeTotalBytes)
+			agg.PCIe.Bytes, agg.PCIe.TotalBytes, sum.PCIe.Bytes, sum.PCIe.TotalBytes)
 	}
-	if agg.NANDPageWrites != sum.NANDPageWrites {
-		t.Errorf("NANDPageWrites: aggregate %d, shard sum %d", agg.NANDPageWrites, sum.NANDPageWrites)
+	if agg.Device.NANDPageWrites != sum.Device.NANDPageWrites {
+		t.Errorf("NANDPageWrites: aggregate %d, shard sum %d", agg.Device.NANDPageWrites, sum.Device.NANDPageWrites)
 	}
-	if agg.Elapsed != maxElapsed {
-		t.Errorf("Elapsed: aggregate %v, max shard %v", agg.Elapsed, maxElapsed)
+	if agg.Host.Elapsed != maxElapsed {
+		t.Errorf("Elapsed: aggregate %v, max shard %v", agg.Host.Elapsed, maxElapsed)
 	}
-	if agg.WriteRespMean <= 0 {
+	if agg.Host.WriteResp.Mean <= 0 {
 		t.Error("merged WriteRespMean not positive")
 	}
-	if agg.ThroughputKops <= 0 {
+	if agg.Host.ThroughputKops <= 0 {
 		t.Error("aggregate ThroughputKops not positive")
 	}
 }
@@ -268,7 +268,7 @@ func TestShardedClose(t *testing.T) {
 		t.Fatalf("outstanding iterator after Close: %v, want ErrClosed", it.Err())
 	}
 	// Stats and Now stay readable after Close.
-	if s.Stats().Puts != 1 {
+	if s.Stats().Host.Puts != 1 {
 		t.Fatal("Stats unreadable after Close")
 	}
 	if s.Now() <= 0 {
@@ -321,7 +321,7 @@ func TestShardedConcurrentAccess(t *testing.T) {
 		}
 	}()
 	wg.Wait()
-	if got := s.Stats().Puts; got != 8*50 {
+	if got := s.Stats().Host.Puts; got != 8*50 {
 		t.Fatalf("Puts = %d, want %d", got, 8*50)
 	}
 }

@@ -10,26 +10,51 @@ import (
 	"bandslim/internal/sim"
 )
 
-// Stats is a point-in-time snapshot of everything the paper measures.
-type Stats struct {
-	// Host-observed metrics.
+// LatencySummary digests one response-time distribution: the numbers a
+// snapshot can carry without exposing the live histogram.
+type LatencySummary struct {
+	Count int64
+	Mean  sim.Duration
+	P50   sim.Duration
+	P99   sim.Duration
+	Max   sim.Duration
+}
+
+// latencySummary digests a histogram into the public summary type.
+func latencySummary(h *metrics.Histogram) LatencySummary {
+	s := h.Summary()
+	return LatencySummary{
+		Count: s.Count,
+		Mean:  sim.Duration(s.Mean),
+		P50:   sim.Duration(s.P50),
+		P99:   sim.Duration(s.P99),
+		Max:   sim.Duration(s.Max),
+	}
+}
+
+// HostStats are the metrics observed at the driver: operation counts and
+// simulated response times.
+type HostStats struct {
 	Puts, Gets, Deletes int64
 	Commands            int64 // NVMe commands issued
-	WriteRespMean       sim.Duration
-	WriteRespP99        sim.Duration
-	ReadRespMean        sim.Duration
+	WriteResp           LatencySummary
+	ReadResp            LatencySummary
 	Elapsed             sim.Duration // simulated time since open
 	ThroughputKops      float64      // PUTs per simulated second / 1000
+}
 
-	// Interconnect ledger (Fig. 3, 8, 9, 10c, 10d).
-	PCIeBytes       int64 // command fetches + DMA payload (the paper's "PCIe traffic")
-	PCIeTotalBytes  int64 // + completions and doorbells, as PCM counts TLPs
-	PCIeDMABytes    int64
-	PCIeCmdBytes    int64
+// PCIeStats is the interconnect byte ledger (Fig. 3, 8, 9, 10c, 10d).
+type PCIeStats struct {
+	Bytes           int64 // command fetches + DMA payload (the paper's "PCIe traffic")
+	TotalBytes      int64 // + completions and doorbells, as PCM counts TLPs
+	DMABytes        int64
+	CommandBytes    int64
 	MMIOBytes       int64 // doorbell traffic
 	CompletionBytes int64
+}
 
-	// Device-side metrics (Fig. 4, 11, 12).
+// DeviceStats are the in-device metrics (Fig. 4, 11, 12).
+type DeviceStats struct {
 	NANDPageWrites int64 // total NAND programs, incl. LSM flush/compaction/GC
 	NANDPageReads  int64
 	BlockErases    int64
@@ -42,9 +67,20 @@ type Stats struct {
 	BufferUtil     float64 // payload bytes / flushed NAND bytes in the vLog
 	GCWrites       int64
 	Compactions    int64
+}
 
-	// Transfer decisions (Adaptive).
-	InlineChosen, PRPChosen, HybridChosen int64
+// AdaptiveStats count the adaptive method's per-value transfer decisions.
+type AdaptiveStats struct {
+	Inline, PRP, Hybrid int64
+}
+
+// Stats is a point-in-time snapshot of everything the paper measures,
+// grouped by where it is measured.
+type Stats struct {
+	Host     HostStats
+	PCIe     PCIeStats
+	Device   DeviceStats
+	Adaptive AdaptiveStats
 }
 
 // Stats snapshots the current counters.
@@ -65,38 +101,45 @@ func stackStats(st *shard.Stack) Stats {
 	es := st.Dev.Engine().Stats()
 	elapsed := st.Clock.Now().Sub(0)
 	s := Stats{
-		Puts:            ds.Puts.Value(),
-		Gets:            ds.Gets.Value(),
-		Deletes:         ds.Deletes.Value(),
-		Commands:        ds.CommandsIssued.Value(),
-		WriteRespMean:   sim.Duration(ds.WriteResponse.Mean()),
-		WriteRespP99:    sim.Duration(ds.WriteResponse.P99()),
-		ReadRespMean:    sim.Duration(ds.ReadResponse.Mean()),
-		Elapsed:         elapsed,
-		PCIeBytes:       st.Link.HostToDeviceBytes(),
-		PCIeTotalBytes:  st.Link.TotalBytes(),
-		PCIeDMABytes:    st.Link.Traf.DMABytes.Value(),
-		PCIeCmdBytes:    st.Link.Traf.CommandBytes.Value(),
-		MMIOBytes:       st.Link.MMIOTrafficBytes(),
-		CompletionBytes: st.Link.Traf.CompletionBytes.Value(),
-		NANDPageWrites:  fs.PageWrites.Value(),
-		NANDPageReads:   fs.PageReads.Value(),
-		BlockErases:     fs.BlockErases.Value(),
-		VLogFlushes:     bs.Flushes.Value(),
-		ForcedFlushes:   bs.ForcedFlushes.Value(),
-		BackfillJumps:   bs.BackfillJumps.Value(),
-		MemcpyTime:      sim.Duration(es.MemcpyTime.Value()),
-		FlushWaitTime:   sim.Duration(bs.FlushWaitTime.Value()),
-		Memcpys:         es.Memcpys.Value(),
-		BufferUtil:      st.Dev.Buffer().Utilization(),
-		GCWrites:        st.Dev.FTL().Stats().GCWrites.Value(),
-		Compactions:     st.Dev.Tree().Stats().Compactions.Value(),
-		InlineChosen:    ds.InlineChosen.Value(),
-		PRPChosen:       ds.PRPChosen.Value(),
-		HybridChosen:    ds.HybridChosen.Value(),
+		Host: HostStats{
+			Puts:      ds.Puts.Value(),
+			Gets:      ds.Gets.Value(),
+			Deletes:   ds.Deletes.Value(),
+			Commands:  ds.CommandsIssued.Value(),
+			WriteResp: latencySummary(ds.WriteResponse),
+			ReadResp:  latencySummary(ds.ReadResponse),
+			Elapsed:   elapsed,
+		},
+		PCIe: PCIeStats{
+			Bytes:           st.Link.HostToDeviceBytes(),
+			TotalBytes:      st.Link.TotalBytes(),
+			DMABytes:        st.Link.Traf.DMABytes.Value(),
+			CommandBytes:    st.Link.Traf.CommandBytes.Value(),
+			MMIOBytes:       st.Link.MMIOTrafficBytes(),
+			CompletionBytes: st.Link.Traf.CompletionBytes.Value(),
+		},
+		Device: DeviceStats{
+			NANDPageWrites: fs.PageWrites.Value(),
+			NANDPageReads:  fs.PageReads.Value(),
+			BlockErases:    fs.BlockErases.Value(),
+			VLogFlushes:    bs.Flushes.Value(),
+			ForcedFlushes:  bs.ForcedFlushes.Value(),
+			BackfillJumps:  bs.BackfillJumps.Value(),
+			MemcpyTime:     sim.Duration(es.MemcpyTime.Value()),
+			FlushWaitTime:  sim.Duration(bs.FlushWaitTime.Value()),
+			Memcpys:        es.Memcpys.Value(),
+			BufferUtil:     st.Dev.Buffer().Utilization(),
+			GCWrites:       st.Dev.FTL().Stats().GCWrites.Value(),
+			Compactions:    st.Dev.Tree().Stats().Compactions.Value(),
+		},
+		Adaptive: AdaptiveStats{
+			Inline: ds.InlineChosen.Value(),
+			PRP:    ds.PRPChosen.Value(),
+			Hybrid: ds.HybridChosen.Value(),
+		},
 	}
-	if elapsed > 0 && s.Puts > 0 {
-		s.ThroughputKops = float64(s.Puts) / elapsed.Seconds() / 1000
+	if elapsed > 0 && s.Host.Puts > 0 {
+		s.Host.ThroughputKops = float64(s.Host.Puts) / elapsed.Seconds() / 1000
 	}
 	return s
 }
@@ -107,7 +150,7 @@ func (s Stats) TrafficAmplification(payloadBytes int64) float64 {
 	if payloadBytes <= 0 {
 		return 0
 	}
-	return float64(s.PCIeBytes) / float64(payloadBytes)
+	return float64(s.PCIe.Bytes) / float64(payloadBytes)
 }
 
 // WriteAmplification reports NAND bytes programmed per payload byte — the
@@ -116,16 +159,16 @@ func (s Stats) WriteAmplification(payloadBytes int64, nandPageSize int) float64 
 	if payloadBytes <= 0 {
 		return 0
 	}
-	return float64(s.NANDPageWrites) * float64(nandPageSize) / float64(payloadBytes)
+	return float64(s.Device.NANDPageWrites) * float64(nandPageSize) / float64(payloadBytes)
 }
 
 // String renders a compact human-readable summary.
 func (s Stats) String() string {
 	return fmt.Sprintf(
 		"puts=%d gets=%d cmds=%d wresp=%v pcie=%s mmio=%s nandw=%d memcpy=%v thr=%.1fKops",
-		s.Puts, s.Gets, s.Commands, s.WriteRespMean,
-		metrics.FormatBytes(s.PCIeBytes), metrics.FormatBytes(s.MMIOBytes),
-		s.NANDPageWrites, s.MemcpyTime, s.ThroughputKops)
+		s.Host.Puts, s.Host.Gets, s.Host.Commands, s.Host.WriteResp.Mean,
+		metrics.FormatBytes(s.PCIe.Bytes), metrics.FormatBytes(s.PCIe.MMIOBytes),
+		s.Device.NANDPageWrites, s.Device.MemcpyTime, s.Host.ThroughputKops)
 }
 
 // CalibrateThresholds performs the §3.2 exploratory runs: it probes PUT
