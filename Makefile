@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench ci
+.PHONY: all build test race vet fmt bench smoke golden ci
 
 all: build
 
@@ -23,4 +23,20 @@ fmt:
 bench:
 	$(GO) run ./cmd/bandslim-bench -experiment shards -scale 20000 -json results
 
-ci: build vet test race
+# Flags shared by the smoke run and its golden regeneration: the exported
+# exposition is deterministic, so any drift is a real behavior change.
+SMOKE_FLAGS = -shards 2 -scale 1000 -seed 42 -metrics-interval-us 100
+
+# Bench smoke: run a tiny instrumented workload and verify the Prometheus
+# exposition is byte-identical to the committed golden file.
+smoke:
+	$(GO) run ./cmd/bandslim-bench $(SMOKE_FLAGS) -metrics-out .smoke.prom -series-out .smoke.csv
+	diff -u results/golden/bench_smoke.prom .smoke.prom
+	rm -f .smoke.prom .smoke.csv
+
+# Regenerate the golden after an intentional metrics change.
+golden:
+	$(GO) run ./cmd/bandslim-bench $(SMOKE_FLAGS) -metrics-out results/golden/bench_smoke.prom -series-out .smoke.csv
+	rm -f .smoke.csv
+
+ci: build vet test race smoke

@@ -32,6 +32,7 @@ import (
 	"bandslim/internal/pagebuf"
 	"bandslim/internal/shard"
 	"bandslim/internal/sim"
+	"bandslim/internal/timeseries"
 )
 
 // TransferMethod selects how values travel from host to device (§3.2).
@@ -74,6 +75,23 @@ const (
 // Thresholds re-exports the adaptive transfer calibration.
 type Thresholds = driver.Thresholds
 
+// SimTime is a point on the simulated clock (nanoseconds since open); DB.Now
+// and MetricSample.T use it.
+type SimTime = sim.Time
+
+// SimDuration is a span of simulated time in nanoseconds — the unit of
+// Config.MetricsInterval and the latency fields of Stats.
+type SimDuration = sim.Duration
+
+// Simulated-time units for building SimDuration values without reaching
+// into internal packages, e.g. cfg.MetricsInterval = 100 * bandslim.SimMicrosecond.
+const (
+	SimNanosecond  = sim.Nanosecond
+	SimMicrosecond = sim.Microsecond
+	SimMillisecond = sim.Millisecond
+	SimSecond      = sim.Second
+)
+
 // Config assembles a DB.
 type Config struct {
 	// Method is the host-side transfer strategy.
@@ -104,6 +122,13 @@ type Config struct {
 	// an in-memory ring buffer. Nil (the default) keeps tracing at zero
 	// cost: every emission site is behind a single nil check.
 	Tracer Tracer
+	// MetricsInterval, when > 0, enables the simulated-time metrics
+	// sampler: the full Stats tree, buffer/vLog gauges, and the latency
+	// histograms are snapshotted every MetricsInterval simulated
+	// nanoseconds. Read the result with DB.Series / ShardedDB.Series and
+	// export it with WriteSeriesCSV; WritePrometheus works with or without
+	// the sampler. Zero (the default) disables sampling entirely.
+	MetricsInterval sim.Duration
 }
 
 // DefaultConfig returns the paper's headline configuration: adaptive
@@ -122,10 +147,11 @@ func DefaultConfig() Config {
 // single submission queue of the paper's passthrough path (the simulated
 // clock is shared, so concurrency does not change simulated timings).
 type DB struct {
-	mu     sync.Mutex
-	cfg    Config
-	st     *shard.Stack
-	closed bool
+	mu      sync.Mutex
+	cfg     Config
+	st      *shard.Stack
+	sampler *timeseries.Sampler // nil unless Config.MetricsInterval > 0
+	closed  bool
 }
 
 // stackOptions normalizes a Config into the per-stack options shared by the
@@ -156,7 +182,21 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bandslim: %w", err)
 	}
-	return &DB{cfg: cfg, st: st}, nil
+	db := &DB{cfg: cfg, st: st}
+	if cfg.MetricsInterval > 0 {
+		db.sampler = timeseries.NewSampler(cfg.MetricsInterval, seriesDescs,
+			func() timeseries.Snapshot { return snapshotStack(st) })
+	}
+	return db, nil
+}
+
+// poll records any simulated-time metric samples due since the last
+// operation; callers hold db.mu. A single comparison when sampling is off
+// or no boundary was crossed.
+func (db *DB) poll() {
+	if db.sampler != nil {
+		db.sampler.Poll(db.st.Clock.Now())
+	}
 }
 
 // Error sentinels. Both are plain errors.New values: match them with
@@ -177,7 +217,9 @@ func (db *DB) Put(key, value []byte) error {
 	if db.closed {
 		return ErrClosed
 	}
-	return db.st.Drv.Put(key, value)
+	err := db.st.Drv.Put(key, value)
+	db.poll()
+	return err
 }
 
 // Get fetches the value for key.
@@ -187,7 +229,9 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
-	return db.st.Drv.Get(key)
+	v, err := db.st.Drv.Get(key)
+	db.poll()
+	return v, err
 }
 
 // Delete removes a key.
@@ -197,7 +241,9 @@ func (db *DB) Delete(key []byte) error {
 	if db.closed {
 		return ErrClosed
 	}
-	return db.st.Drv.Delete(key)
+	err := db.st.Drv.Delete(key)
+	db.poll()
+	return err
 }
 
 // Flush forces buffered values and index entries to NAND.
@@ -207,7 +253,9 @@ func (db *DB) Flush() error {
 	if db.closed {
 		return ErrClosed
 	}
-	return db.st.Drv.Flush()
+	err := db.st.Drv.Flush()
+	db.poll()
+	return err
 }
 
 // Close flushes and shuts the DB. Further operations fail with ErrClosed.
@@ -218,6 +266,7 @@ func (db *DB) Close() error {
 		return nil
 	}
 	err := db.st.Drv.Flush()
+	db.poll()
 	db.closed = true
 	return err
 }
@@ -279,6 +328,7 @@ func (it *Iterator) next() {
 		return
 	}
 	k, v, err := it.db.st.Drv.Next()
+	it.db.poll()
 	if errors.Is(err, ErrIterDone) {
 		it.valid = false
 		return
@@ -423,7 +473,9 @@ func (db *DB) CompactVLog(pages int) (int, error) {
 	if db.closed {
 		return 0, ErrClosed
 	}
-	return db.st.Drv.CompactVLog(pages)
+	n, err := db.st.Drv.CompactVLog(pages)
+	db.poll()
+	return n, err
 }
 
 // VLogFreeBytes reports how much value-log space remains before compaction

@@ -7,6 +7,7 @@
 //	bandslim-bench -experiment shards [-shards 1,2,4,8] [-json out/]
 //	bandslim-bench -experiment all
 //	bandslim-bench -trace out.json [-shards 4]
+//	bandslim-bench -metrics-out out.prom -series-out series.csv [-shards 4] [-listen :9090]
 //	bandslim-bench -list
 //
 // Each experiment prints the same rows/series the paper plots; -csv also
@@ -17,11 +18,22 @@
 // workload with command-level tracing on, writing Chrome trace_event JSON
 // loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing. With
 // -shards the capture runs a ShardedDB and the shards render as processes.
+//
+// -metrics-out, -series-out, and -listen likewise skip the experiments and
+// run one instrumented workload with the simulated-time metrics sampler on:
+// -metrics-out writes the final Prometheus exposition, -series-out writes
+// the sampled per-metric series CSV, and -listen serves /metrics (live
+// Prometheus scrape) and /progress (JSON: ops done, simulated elapsed,
+// current rates) while the run executes. The exported files are
+// deterministic: same seed, scale, shards, and interval produce
+// byte-identical bytes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -30,7 +42,81 @@ import (
 
 	"bandslim"
 	"bandslim/internal/bench"
+	"bandslim/internal/sim"
 )
+
+// runTelemetry drives the instrumented workload behind -metrics-out,
+// -series-out, and -listen: start the sharded run, optionally serve the
+// live endpoints while it executes, then export the deterministic files.
+func runTelemetry(opts bench.Options, shards int, interval sim.Duration, listen, metricsOut, seriesOut string) error {
+	tr, err := bench.StartTelemetry(opts, shards, interval)
+	if err != nil {
+		return err
+	}
+	defer tr.DB.Close()
+
+	var srv *http.Server
+	if listen != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := tr.DB.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := json.NewEncoder(w).Encode(tr.Progress()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		srv = &http.Server{Addr: listen, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "bandslim-bench: listen:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("serving /metrics and /progress on %s\n", listen)
+	}
+
+	if err := tr.Wait(); err != nil {
+		return err
+	}
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.DB.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", metricsOut)
+	}
+	if seriesOut != "" {
+		series := tr.DB.Series()
+		f, err := os.Create(seriesOut)
+		if err != nil {
+			return err
+		}
+		if err := bandslim.WriteSeriesCSV(f, series); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d samples)\n", seriesOut, series.Len())
+	}
+	p := tr.Progress()
+	fmt.Printf("telemetry run: %d ops on %d shard(s), %.3f ms simulated, %.1f wall Kops\n",
+		p.OpsDone, shards, p.SimElapsedUs/1000, p.WallKops)
+	return nil
+}
 
 // parseShards turns "1,2,4,8" into a shard-count sweep.
 func parseShards(s string) ([]int, error) {
@@ -57,6 +143,10 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory to write per-table CSV files")
 		jsonDir    = flag.String("json", "", "directory for BENCH_shards.json (default: current dir)")
 		tracePath  = flag.String("trace", "", "capture a traced workload and write Chrome trace JSON to this path")
+		metricsOut = flag.String("metrics-out", "", "run an instrumented workload and write its Prometheus exposition here")
+		seriesOut  = flag.String("series-out", "", "run an instrumented workload and write its sampled metric series CSV here")
+		listen     = flag.String("listen", "", "serve /metrics and /progress on this address during the instrumented run")
+		intervalUs = flag.Int64("metrics-interval-us", 100, "simulated sampling interval for the instrumented run, µs")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -75,6 +165,19 @@ func main() {
 		os.Exit(1)
 	}
 	opts := bench.Options{Scale: *scale, Seed: *seed, Shards: counts}
+
+	if *metricsOut != "" || *seriesOut != "" || *listen != "" {
+		shardCount := 1
+		if len(counts) > 0 {
+			shardCount = counts[0]
+		}
+		if err := runTelemetry(opts, shardCount, sim.Duration(*intervalUs)*sim.Microsecond,
+			*listen, *metricsOut, *seriesOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *tracePath != "" {
 		shardCount := 1

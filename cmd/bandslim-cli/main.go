@@ -5,6 +5,7 @@
 // Usage:
 //
 //	bandslim-cli [-method adaptive] [-policy backfill]
+//	             [-metrics-interval-us 100] [-metrics-out out.prom] [-series-out out.csv]
 //
 // Commands:
 //
@@ -14,9 +15,13 @@
 //	del <key>               delete a key
 //	scan <start> [n]        list up to n pairs from start (default 10)
 //	flush                   force buffers to NAND
-//	stats                   print the measurement snapshot
+//	stats                   print the Prometheus exposition of every metric
 //	help                    this text
 //	quit                    exit
+//
+// With -metrics-out/-series-out the session's final metric state and sampled
+// series are exported on exit, so an interactive exploration leaves the same
+// artifacts a bench run does.
 package main
 
 import (
@@ -30,12 +35,16 @@ import (
 	"bandslim"
 	"bandslim/internal/driver"
 	"bandslim/internal/pagebuf"
+	"bandslim/internal/sim"
 )
 
 func main() {
 	var (
 		methodName = flag.String("method", "adaptive", "transfer method: baseline|piggyback|hybrid|adaptive")
 		policyName = flag.String("policy", "backfill", "packing policy: block|all|select|backfill")
+		intervalUs = flag.Int64("metrics-interval-us", 100, "simulated metrics sampling interval, µs (0 disables the sampler)")
+		metricsOut = flag.String("metrics-out", "", "write the final Prometheus exposition here on exit")
+		seriesOut  = flag.String("series-out", "", "write the sampled metric series CSV here on exit")
 	)
 	flag.Parse()
 
@@ -49,14 +58,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *seriesOut != "" && *intervalUs <= 0 {
+		fmt.Fprintln(os.Stderr, "bandslim-cli: -series-out needs -metrics-interval-us > 0")
+		os.Exit(1)
+	}
 	cfg := bandslim.DefaultConfig()
 	cfg.Method = method
 	cfg.Policy = policy
+	if *intervalUs > 0 {
+		cfg.MetricsInterval = sim.Duration(*intervalUs) * sim.Microsecond
+	}
 	db, err := bandslim.Open(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// LIFO: Close runs first so the exports include the final flush
+	// (Series and WritePrometheus stay usable after Close).
+	defer exportMetrics(db, *metricsOut, *seriesOut)
 	defer db.Close()
 
 	fmt.Printf("bandslim-cli: %v transfer, %v packing. Type 'help'.\n", method, policy)
@@ -73,6 +92,34 @@ func main() {
 		if done := dispatch(db, fields); done {
 			break
 		}
+	}
+}
+
+// exportMetrics writes the session's final exposition and sampled series,
+// sharing the exporters (and file shapes) with bandslim-bench.
+func exportMetrics(db *bandslim.DB, metricsOut, seriesOut string) {
+	writeTo := func(path string, write func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-cli:", err)
+			return
+		}
+		if err := write(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-cli:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-cli:", err)
+			return
+		}
+		fmt.Println("wrote", path)
+	}
+	if metricsOut != "" {
+		writeTo(metricsOut, func(f *os.File) error { return db.WritePrometheus(f) })
+	}
+	if seriesOut != "" {
+		writeTo(seriesOut, func(f *os.File) error {
+			return bandslim.WriteSeriesCSV(f, db.Series())
+		})
 	}
 }
 
@@ -170,8 +217,9 @@ func dispatch(db *bandslim.DB, fields []string) bool {
 		}
 		fmt.Printf("relocated %d live values; vLog free: %d KiB\n", n, db.VLogFreeBytes()/1024)
 	case "stats":
-		fmt.Println(db.Stats())
-		fmt.Printf("vLog free: %d KiB\n", db.VLogFreeBytes()/1024)
+		if err := db.WritePrometheus(os.Stdout); err != nil {
+			fmt.Println("error:", err)
+		}
 	case "info":
 		id, err := db.Identify()
 		if err != nil {

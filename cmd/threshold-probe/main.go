@@ -7,6 +7,13 @@
 // Usage:
 //
 //	threshold-probe [-per-size 1000] [-alpha 1.0] [-beta 1.0]
+//	                [-metrics-out out.prom] [-series-out out.csv]
+//
+// With -metrics-out/-series-out the probe finishes by replaying a mixed-size
+// validation workload on an adaptive DB configured with the derived
+// thresholds and the simulated-time metrics sampler on, then exports the
+// final Prometheus exposition and the sampled series — the same artifact
+// shapes bandslim-bench produces.
 package main
 
 import (
@@ -15,13 +22,16 @@ import (
 	"os"
 
 	"bandslim"
+	"bandslim/internal/sim"
 )
 
 func main() {
 	var (
-		perSize = flag.Int("per-size", 1000, "PUTs per probed size")
-		alpha   = flag.Float64("alpha", 1.0, "threshold1 coefficient (traffic preference)")
-		beta    = flag.Float64("beta", 1.0, "threshold2 coefficient (traffic preference)")
+		perSize    = flag.Int("per-size", 1000, "PUTs per probed size")
+		alpha      = flag.Float64("alpha", 1.0, "threshold1 coefficient (traffic preference)")
+		beta       = flag.Float64("beta", 1.0, "threshold2 coefficient (traffic preference)")
+		metricsOut = flag.String("metrics-out", "", "validate the derived thresholds and write the Prometheus exposition here")
+		seriesOut  = flag.String("series-out", "", "validate the derived thresholds and write the sampled series CSV here")
 	)
 	flag.Parse()
 
@@ -63,4 +73,69 @@ func main() {
 		thr.Threshold1, thr.Threshold2, thr.Alpha, thr.Beta)
 	fmt.Printf("adaptive policy: inline ≤ %.0fB; hybrid for over-page tails ≤ %.0fB; PRP otherwise\n",
 		thr.Alpha*float64(thr.Threshold1), thr.Beta*float64(thr.Threshold2))
+
+	if *metricsOut != "" || *seriesOut != "" {
+		if err := validateAndExport(thr, *perSize, *metricsOut, *seriesOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// validateAndExport replays a mixed-size workload on an adaptive DB running
+// the derived thresholds with the metrics sampler on, and exports the final
+// state through the shared Prometheus/CSV exporters. The exposition's
+// adaptive_* counters show how the calibration split real traffic.
+func validateAndExport(thr bandslim.Thresholds, perSize int, metricsOut, seriesOut string) error {
+	cfg := bandslim.DefaultConfig()
+	cfg.Method = bandslim.Adaptive
+	cfg.Thresholds = thr
+	cfg.MetricsInterval = 100 * sim.Microsecond
+	db, err := bandslim.Open(cfg)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	sizes := []int{16, 256, 1024, 4096 + 32, 8192}
+	key := make([]byte, 4)
+	for j := 0; j < perSize; j++ {
+		key[0], key[1] = byte(j>>8), byte(j)
+		if err := db.Put(key, make([]byte, sizes[j%len(sizes)])); err != nil {
+			return err
+		}
+	}
+	if err := db.Flush(); err != nil {
+		return err
+	}
+
+	if metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := db.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", metricsOut)
+	}
+	if seriesOut != "" {
+		f, err := os.Create(seriesOut)
+		if err != nil {
+			return err
+		}
+		if err := bandslim.WriteSeriesCSV(f, db.Series()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", seriesOut)
+	}
+	return nil
 }

@@ -82,6 +82,9 @@ func (w *Welford) Variance() float64 {
 // Stddev reports the sample standard deviation.
 func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
 
+// Sum reports the total of all samples (mean × count).
+func (w *Welford) Sum() float64 { return w.mean * float64(w.n) }
+
 // Reset clears the accumulator.
 func (w *Welford) Reset() { *w = Welford{} }
 
@@ -164,6 +167,33 @@ func (h *Histogram) Max() float64 { return h.w.Max() }
 // Stddev reports the exact sample standard deviation.
 func (h *Histogram) Stddev() float64 { return h.w.Stddev() }
 
+// Sum reports the exact total of all samples.
+func (h *Histogram) Sum() float64 { return h.w.Sum() }
+
+// Bucket is one cumulative histogram bucket: Count samples were observed
+// strictly below UpperBound. The final bucket has UpperBound = +Inf and
+// Count equal to the total sample count.
+type Bucket struct {
+	UpperBound float64
+	Count      int64
+}
+
+// CumulativeBuckets renders the histogram as Prometheus-style cumulative
+// buckets over the fixed exponential layout: one entry per bucket boundary
+// plus the +Inf bucket. Every histogram shares the layout, so two
+// histograms are sample-equivalent iff their cumulative buckets are equal.
+func (h *Histogram) CumulativeBuckets() []Bucket {
+	out := make([]Bucket, 0, len(h.bounds)+1)
+	cum := h.under
+	out = append(out, Bucket{UpperBound: h.bounds[0], Count: cum})
+	for j := 1; j < len(h.bounds); j++ {
+		cum += h.buckets[j-1]
+		out = append(out, Bucket{UpperBound: h.bounds[j], Count: cum})
+	}
+	out = append(out, Bucket{UpperBound: math.Inf(1), Count: h.w.Count()})
+	return out
+}
+
 // Quantile reports an approximate q-quantile (q in [0,1]) from the buckets.
 func (h *Histogram) Quantile(q float64) float64 {
 	n := h.w.Count()
@@ -179,7 +209,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	target := int64(q * float64(n))
 	cum := h.under
 	if cum > target {
-		return h.bounds[0] / 2
+		return h.clamp(h.bounds[0] / 2)
 	}
 	for i, c := range h.buckets {
 		cum += c
@@ -190,10 +220,27 @@ func (h *Histogram) Quantile(q float64) float64 {
 			if i+1 < len(h.bounds) {
 				hi = h.bounds[i+1]
 			}
-			return (lo + hi) / 2
+			return h.clamp((lo + hi) / 2)
 		}
 	}
 	return h.w.Max()
+}
+
+// clamp bounds a bucket-midpoint estimate by the exact observed extremes: a
+// sparsely populated top (or bottom) bucket's midpoint can exceed the
+// observed max (or undershoot the min), which would corrupt percentile
+// columns in exported series.
+func (h *Histogram) clamp(est float64) float64 {
+	if h.w.Count() == 0 {
+		return est
+	}
+	if est < h.w.Min() {
+		est = h.w.Min()
+	}
+	if est > h.w.Max() {
+		est = h.w.Max()
+	}
+	return est
 }
 
 // P50 reports the approximate median.

@@ -275,3 +275,133 @@ func TestFormatCount(t *testing.T) {
 		}
 	}
 }
+
+// A single-sample histogram's quantile estimates must collapse to that
+// sample: the bucket midpoint of a sparse top (or bottom) bucket would
+// otherwise exceed the observed max or undershoot the min, corrupting P99
+// columns in exported series.
+func TestQuantileClampedToObservedRange(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99} {
+		if got := h.Quantile(q); got != 100 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 100", q, got)
+		}
+	}
+	// Sub-minimum bucket path: a sample below the first bound.
+	lo := NewHistogram()
+	lo.Observe(0.25)
+	if got := lo.P50(); got != 0.25 {
+		t.Fatalf("sub-range P50 = %v, want 0.25", got)
+	}
+}
+
+func TestQuantileWithinRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		h := NewHistogram()
+		x := float64(seed%100000) + 1
+		h.Observe(x)
+		h.Observe(x * 1.5)
+		h.Observe(x * 7)
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+			v := h.Quantile(q)
+			if v < h.Min() || v > h.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Merging N split streams must be indistinguishable from observing one
+// combined stream — the invariant the per-shard series merge relies on.
+func TestSplitMergeMatchesCombined(t *testing.T) {
+	const parts = 4
+	samples := make([]float64, 0, 1000)
+	v := 11.0
+	for i := 0; i < 1000; i++ {
+		v = math.Mod(v*1.618+3, 5e6) + 1
+		samples = append(samples, v)
+	}
+
+	combined := NewHistogram()
+	split := make([]*Histogram, parts)
+	for i := range split {
+		split[i] = NewHistogram()
+	}
+	var combinedW Welford
+	splitW := make([]Welford, parts)
+	var total int64
+	partC := make([]Counter, parts)
+	for i, x := range samples {
+		combined.Observe(x)
+		combinedW.Observe(x)
+		split[i%parts].Observe(x)
+		splitW[i%parts].Observe(x)
+		partC[i%parts].Inc()
+	}
+	merged := NewHistogram()
+	var mergedW Welford
+	for i := range split {
+		merged.Merge(split[i])
+		mergedW.Merge(&splitW[i])
+		total += partC[i].Value()
+	}
+
+	if total != combined.Count() || merged.Count() != combined.Count() {
+		t.Fatalf("counts: counter sum %d, merged %d, combined %d", total, merged.Count(), combined.Count())
+	}
+	mb, cb := merged.CumulativeBuckets(), combined.CumulativeBuckets()
+	if len(mb) != len(cb) {
+		t.Fatalf("bucket layouts differ: %d vs %d", len(mb), len(cb))
+	}
+	for j := range mb {
+		if mb[j] != cb[j] {
+			t.Fatalf("bucket %d: merged %+v, combined %+v", j, mb[j], cb[j])
+		}
+	}
+	if merged.Min() != combined.Min() || merged.Max() != combined.Max() {
+		t.Fatalf("extremes: merged [%v, %v], combined [%v, %v]",
+			merged.Min(), merged.Max(), combined.Min(), combined.Max())
+	}
+	if mergedW.Count() != combinedW.Count() {
+		t.Fatalf("welford counts: %d vs %d", mergedW.Count(), combinedW.Count())
+	}
+	if d := math.Abs(mergedW.Mean() - combinedW.Mean()); d > 1e-6*math.Abs(combinedW.Mean()) {
+		t.Fatalf("welford means diverge: %v vs %v", mergedW.Mean(), combinedW.Mean())
+	}
+	if d := math.Abs(mergedW.Variance() - combinedW.Variance()); d > 1e-6*combinedW.Variance() {
+		t.Fatalf("welford variances diverge: %v vs %v", mergedW.Variance(), combinedW.Variance())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if merged.Quantile(q) != combined.Quantile(q) {
+			t.Fatalf("Quantile(%v): merged %v, combined %v", q, merged.Quantile(q), combined.Quantile(q))
+		}
+	}
+}
+
+func TestCumulativeBucketsShape(t *testing.T) {
+	h := NewHistogram()
+	if b := h.CumulativeBuckets(); b[len(b)-1].Count != 0 || !math.IsInf(b[len(b)-1].UpperBound, 1) {
+		t.Fatalf("empty histogram tail bucket = %+v", b[len(b)-1])
+	}
+	h.Observe(10)
+	h.Observe(1e9)
+	b := h.CumulativeBuckets()
+	prev := int64(0)
+	for _, bk := range b {
+		if bk.Count < prev {
+			t.Fatalf("cumulative counts decreased at le=%v", bk.UpperBound)
+		}
+		prev = bk.Count
+	}
+	if b[len(b)-1].Count != 2 {
+		t.Fatalf("tail count = %d, want 2", b[len(b)-1].Count)
+	}
+	if h.Sum() != 10+1e9 {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}

@@ -75,11 +75,12 @@ func NewStack(o Options) (*Stack, error) {
 // state is touched only from the worker, so shards need no internal locking
 // and different shards run truly in parallel.
 type Shard struct {
-	id    int
-	stack *Stack
-	reqs  chan func()
-	done  chan struct{}
-	stop  sync.Once
+	id      int
+	stack   *Stack
+	afterOp func()
+	reqs    chan func()
+	done    chan struct{}
+	stop    sync.Once
 }
 
 // New builds a shard and starts its worker. Callers must Close it to stop
@@ -108,6 +109,19 @@ func (s *Shard) ID() int { return s.id }
 // Do (or after Close, when the worker has exited).
 func (s *Shard) Stack() *Stack { return s.stack }
 
+// SetAfterOp installs a hook the worker runs after every driver operation
+// (Put/Get/Delete/Flush/Seek/Next) — the sampling point for simulated-time
+// metrics. Install it before the first operation; the hook executes on the
+// worker goroutine, so it may touch the Stack freely.
+func (s *Shard) SetAfterOp(fn func()) { s.afterOp = fn }
+
+// opDone fires the after-op hook; called on the worker goroutine.
+func (s *Shard) opDone() {
+	if s.afterOp != nil {
+		s.afterOp()
+	}
+}
+
 // Do runs fn on the shard's worker goroutine and waits for it to finish.
 // Calling Do on a closed shard panics; front-ends gate on their own closed
 // state first.
@@ -129,7 +143,7 @@ func (s *Shard) Close() {
 // Put stores a key-value pair on this shard.
 func (s *Shard) Put(key, value []byte) error {
 	var err error
-	s.Do(func() { err = s.stack.Drv.Put(key, value) })
+	s.Do(func() { err = s.stack.Drv.Put(key, value); s.opDone() })
 	return err
 }
 
@@ -139,35 +153,35 @@ func (s *Shard) Get(key []byte) ([]byte, error) {
 		v   []byte
 		err error
 	)
-	s.Do(func() { v, err = s.stack.Drv.Get(key) })
+	s.Do(func() { v, err = s.stack.Drv.Get(key); s.opDone() })
 	return v, err
 }
 
 // Delete removes a key from this shard.
 func (s *Shard) Delete(key []byte) error {
 	var err error
-	s.Do(func() { err = s.stack.Drv.Delete(key) })
+	s.Do(func() { err = s.stack.Drv.Delete(key); s.opDone() })
 	return err
 }
 
 // Flush forces this shard's buffered values and index entries to NAND.
 func (s *Shard) Flush() error {
 	var err error
-	s.Do(func() { err = s.stack.Drv.Flush() })
+	s.Do(func() { err = s.stack.Drv.Flush(); s.opDone() })
 	return err
 }
 
 // Seek positions this shard's device-side iterator at the first key >= start.
 func (s *Shard) Seek(start []byte) error {
 	var err error
-	s.Do(func() { err = s.stack.Drv.Seek(start) })
+	s.Do(func() { err = s.stack.Drv.Seek(start); s.opDone() })
 	return err
 }
 
 // Next returns the shard iterator's current pair and advances it;
 // driver.ErrIterDone signals exhaustion.
 func (s *Shard) Next() (key, value []byte, err error) {
-	s.Do(func() { key, value, err = s.stack.Drv.Next() })
+	s.Do(func() { key, value, err = s.stack.Drv.Next(); s.opDone() })
 	return key, value, err
 }
 

@@ -1,0 +1,165 @@
+package timeseries
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"bandslim/internal/metrics"
+)
+
+// formatFloat renders a value with the minimal round-trippable digits, so
+// exports are byte-stable and diff-friendly.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a Prometheus label value per the exposition format.
+func escapeLabel(v string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+}
+
+// WritePrometheus writes one snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters gain the conventional _total suffix,
+// gauges are emitted as-is, and each histogram emits cumulative le buckets
+// trimmed to the populated range (leading empty buckets and the tail past
+// the last occupied bucket are elided — the +Inf bucket always carries the
+// total), then _sum and _count. Output is a pure function of the snapshot:
+// same-seed runs produce byte-identical bytes.
+func WritePrometheus(w io.Writer, prefix string, descs []Desc, snap Snapshot, histHelp map[string]string) error {
+	bw := bufio.NewWriter(w)
+	for i, d := range descs {
+		name := prefix + "_" + d.Name
+		typ := "gauge"
+		if d.Kind == KindCounter {
+			name += "_total"
+			typ = "counter"
+		}
+		if d.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, d.Help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+		fmt.Fprintf(bw, "%s %s\n", name, formatFloat(snap.Values[i]))
+	}
+	// The exposition format requires all series of one metric family to be
+	// contiguous, so group labeled histograms by family name, keeping
+	// first-occurrence order.
+	var families []string
+	byFamily := make(map[string][]Hist)
+	for _, h := range snap.Hists {
+		if _, ok := byFamily[h.Key.Name]; !ok {
+			families = append(families, h.Key.Name)
+		}
+		byFamily[h.Key.Name] = append(byFamily[h.Key.Name], h)
+	}
+	for _, fam := range families {
+		name := prefix + "_" + fam
+		if help := histHelp[fam]; help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		for _, h := range byFamily[fam] {
+			writePromHistogram(bw, name, h.Key, h.H)
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram emits one distribution's _bucket/_sum/_count lines.
+func writePromHistogram(bw *bufio.Writer, name string, key HistKey, h *metrics.Histogram) {
+	labels := func(le string) string {
+		if key.Label == "" {
+			if le == "" {
+				return ""
+			}
+			return fmt.Sprintf(`{le="%s"}`, le)
+		}
+		if le == "" {
+			return fmt.Sprintf(`{%s="%s"}`, key.Label, escapeLabel(key.Value))
+		}
+		return fmt.Sprintf(`{%s="%s",le="%s"}`, key.Label, escapeLabel(key.Value), le)
+	}
+	total := h.Count()
+	for _, b := range h.CumulativeBuckets() {
+		if math.IsInf(b.UpperBound, 1) {
+			break
+		}
+		if b.Count == 0 {
+			continue // leading empty buckets carry no information
+		}
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", name, labels(formatFloat(b.UpperBound)), b.Count)
+		if b.Count == total {
+			break // every later bucket repeats the total; +Inf closes it out
+		}
+	}
+	fmt.Fprintf(bw, "%s_bucket%s %d\n", name, labels("+Inf"), total)
+	fmt.Fprintf(bw, "%s_sum%s %s\n", name, labels(""), formatFloat(h.Sum()))
+	fmt.Fprintf(bw, "%s_count%s %d\n", name, labels(""), total)
+}
+
+// histColumnBase names one distribution's CSV column group: the family name
+// alone, or family.label-value for labeled distributions.
+func histColumnBase(k HistKey) string {
+	if k.Label == "" {
+		return k.Name
+	}
+	return k.Name + "." + k.Value
+}
+
+// WriteCSV writes the series as one CSV table feeding the results/*.csv
+// figure pipeline: a t_us time axis, every scalar column in Desc order, a
+// <name>_per_sec rate column for every counter, and count/mean/p50/p99
+// columns for every latency distribution in first-observation order.
+// Deterministic: column order and float formatting are fixed.
+func WriteCSV(w io.Writer, s Series) error {
+	bw := bufio.NewWriter(w)
+	cols := []string{"t_us"}
+	for _, d := range s.Descs {
+		cols = append(cols, d.Name)
+	}
+	for _, d := range s.Descs {
+		if d.Kind == KindCounter {
+			cols = append(cols, d.Name+"_per_sec")
+		}
+	}
+	for _, k := range s.HistKeys {
+		base := histColumnBase(k)
+		cols = append(cols, base+"_count", base+"_mean", base+"_p50", base+"_p99")
+	}
+	fmt.Fprintln(bw, strings.Join(cols, ","))
+	secs := s.Interval.Seconds()
+	for i, sm := range s.Samples {
+		fields := make([]string, 0, len(cols))
+		fields = append(fields, formatFloat(sm.T.Micros()))
+		for _, v := range sm.Values {
+			fields = append(fields, formatFloat(v))
+		}
+		for j, d := range s.Descs {
+			if d.Kind != KindCounter {
+				continue
+			}
+			var rate float64
+			if i > 0 {
+				rate = (sm.Values[j] - s.Samples[i-1].Values[j]) / secs
+			}
+			fields = append(fields, formatFloat(rate))
+		}
+		for _, k := range s.HistKeys {
+			h := histAt(sm, k)
+			if h == nil || h.Count() == 0 {
+				fields = append(fields, "0", "0", "0", "0")
+				continue
+			}
+			fields = append(fields,
+				strconv.FormatInt(h.Count(), 10),
+				formatFloat(h.Mean()),
+				formatFloat(h.P50()),
+				formatFloat(h.P99()))
+		}
+		fmt.Fprintln(bw, strings.Join(fields, ","))
+	}
+	return bw.Flush()
+}

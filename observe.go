@@ -1,5 +1,6 @@
 // Observability surface: the command-level trace subsystem behind
-// Config.Tracer.
+// Config.Tracer, and the simulated-time metrics sampler behind
+// Config.MetricsInterval with its Prometheus and CSV exporters.
 //
 // The simulator's components — driver, PCIe link, NVMe rings, DMA engine,
 // NAND page buffer, flash array — each emit typed events stamped with
@@ -26,6 +27,7 @@ package bandslim
 import (
 	"io"
 
+	"bandslim/internal/timeseries"
 	"bandslim/internal/trace"
 )
 
@@ -85,4 +87,49 @@ func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
 // threads ordered host→device.
 func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	return trace.WriteChromeTrace(w, events)
+}
+
+// MetricSeries is a sampled sequence of metric snapshots on a fixed
+// simulated-time grid: sample i sits at t = i × Config.MetricsInterval,
+// starting from a zero-state sample at t = 0. Counters are cumulative;
+// derive rates with Rate ("pcie_bytes" → PCIe bytes per simulated second).
+type MetricSeries = timeseries.Series
+
+// MetricSample is one recorded snapshot within a MetricSeries.
+type MetricSample = timeseries.Sample
+
+// MetricDesc declares one scalar metric: name, kind (counter or gauge),
+// cross-shard aggregation mode, and Prometheus HELP text.
+type MetricDesc = timeseries.Desc
+
+// Series returns the simulated-time metric series recorded so far. It is
+// empty (Len() == 0) unless Config.MetricsInterval was set at Open. The
+// series remains readable after Close and includes the final flush.
+func (db *DB) Series() MetricSeries {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.sampler == nil {
+		return MetricSeries{}
+	}
+	return db.sampler.Series()
+}
+
+// WritePrometheus writes the DB's current metric state — every counter,
+// gauge, and full-bucket latency histogram — in the Prometheus text
+// exposition format. It works with or without the sampler, remains usable
+// after Close, and is deterministic: same-seed runs produce byte-identical
+// output.
+func (db *DB) WritePrometheus(w io.Writer) error {
+	db.mu.Lock()
+	snap := snapshotStack(db.st)
+	db.mu.Unlock()
+	return timeseries.WritePrometheus(w, "bandslim", seriesDescs, snap, histHelp)
+}
+
+// WriteSeriesCSV writes a metric series as one CSV table: a t_us time axis,
+// every scalar column, per-counter _per_sec rate columns, and
+// count/mean/p50/p99 columns per latency distribution — the same shape the
+// results/*.csv figure pipeline consumes. Deterministic for same-seed runs.
+func WriteSeriesCSV(w io.Writer, s MetricSeries) error {
+	return timeseries.WriteCSV(w, s)
 }

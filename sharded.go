@@ -2,11 +2,13 @@ package bandslim
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"bandslim/internal/metrics"
 	"bandslim/internal/shard"
 	"bandslim/internal/sim"
+	"bandslim/internal/timeseries"
 	"bandslim/internal/trace"
 )
 
@@ -56,12 +58,13 @@ func DefaultShardedConfig(shards int) ShardedConfig {
 // All methods are safe for concurrent use; operations on different shards
 // proceed in parallel, operations on one shard serialize in arrival order.
 type ShardedDB struct {
-	mu     sync.RWMutex
-	cfg    ShardedConfig
-	shards []*shard.Shard
-	part   *shard.Partitioner
-	recs   []*trace.Recorder // per-shard recorders (TraceCapacity > 0)
-	closed bool
+	mu       sync.RWMutex
+	cfg      ShardedConfig
+	shards   []*shard.Shard
+	part     *shard.Partitioner
+	recs     []*trace.Recorder     // per-shard recorders (TraceCapacity > 0)
+	samplers []*timeseries.Sampler // per-shard samplers (MetricsInterval > 0)
+	closed   bool
 }
 
 // OpenSharded builds Shards independent stacks and starts their workers.
@@ -93,7 +96,21 @@ func OpenSharded(cfg ShardedConfig) (*ShardedDB, error) {
 		}
 		shards[i] = sh
 	}
-	return &ShardedDB{cfg: cfg, shards: shards, part: part, recs: recs}, nil
+	var samplers []*timeseries.Sampler
+	if interval := cfg.PerShard.MetricsInterval; interval > 0 {
+		// One sampler per shard, polled on the shard's worker goroutine
+		// after every operation. Safe to install here: no operations have
+		// been submitted yet.
+		samplers = make([]*timeseries.Sampler, len(shards))
+		for i, sh := range shards {
+			st := sh.Stack()
+			smp := timeseries.NewSampler(interval, seriesDescs,
+				func() timeseries.Snapshot { return snapshotStack(st) })
+			sh.SetAfterOp(func() { smp.Poll(st.Clock.Now()) })
+			samplers[i] = smp
+		}
+	}
+	return &ShardedDB{cfg: cfg, shards: shards, part: part, recs: recs, samplers: samplers}, nil
 }
 
 // TraceEvents merges the per-shard recorders (TraceCapacity > 0) into one
@@ -345,6 +362,67 @@ func mergeSnapshots(snaps []shardSnapshot) Stats {
 		out.Host.ThroughputKops = float64(out.Host.Puts) / out.Host.Elapsed.Seconds() / 1000
 	}
 	return out
+}
+
+// Series merges the per-shard simulated-time metric series onto one time
+// axis: counters and sum-gauges add, max-gauges take the max, mean-gauges
+// average, and latency histograms merge bucket-exactly. It is empty unless
+// PerShard.MetricsInterval was set; with Shards: 1 the merged series equals
+// the series a plain DB records over the same workload. Remains readable
+// after Close.
+func (s *ShardedDB) Series() MetricSeries {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.samplers) == 0 {
+		return MetricSeries{}
+	}
+	parts := make([]timeseries.Series, len(s.samplers))
+	collect := func(i int) { parts[i] = s.samplers[i].Series() }
+	if s.closed {
+		// Workers have exited; direct reads are safe.
+		for i := range s.samplers {
+			collect(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			wg.Add(1)
+			go func(i int, sh *shard.Shard) {
+				defer wg.Done()
+				sh.Do(func() { collect(i) })
+			}(i, sh)
+		}
+		wg.Wait()
+	}
+	return timeseries.MergeSeries(parts...)
+}
+
+// WritePrometheus writes the aggregate metric state across every shard in
+// the Prometheus text exposition format: counters sum, gauges aggregate per
+// their mode, histograms merge bucket-exactly. Safe to call while shards
+// are actively serving (the live /metrics scrape path) and after Close.
+func (s *ShardedDB) WritePrometheus(w io.Writer) error {
+	s.mu.RLock()
+	snaps := make([]timeseries.Snapshot, len(s.shards))
+	collect := func(i int, sh *shard.Shard) { snaps[i] = snapshotStack(sh.Stack()) }
+	if s.closed {
+		for i, sh := range s.shards {
+			collect(i, sh)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			wg.Add(1)
+			go func(i int, sh *shard.Shard) {
+				defer wg.Done()
+				sh.Do(func() { collect(i, sh) })
+			}(i, sh)
+		}
+		wg.Wait()
+	}
+	s.mu.RUnlock()
+	merged := timeseries.MergeSnapshots(seriesDescs, snaps)
+	return timeseries.WritePrometheus(w, "bandslim", seriesDescs, merged, histHelp)
 }
 
 // ShardStats snapshots one shard's counters (for per-shard balance checks).

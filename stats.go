@@ -8,6 +8,7 @@ import (
 	"bandslim/internal/pcie"
 	"bandslim/internal/shard"
 	"bandslim/internal/sim"
+	"bandslim/internal/timeseries"
 )
 
 // LatencySummary digests one response-time distribution: the numbers a
@@ -142,6 +143,122 @@ func stackStats(st *shard.Stack) Stats {
 		s.Host.ThroughputKops = float64(s.Host.Puts) / elapsed.Seconds() / 1000
 	}
 	return s
+}
+
+// counter and gauge shorthand for the seriesDescs table.
+func counter(name, help string) timeseries.Desc {
+	return timeseries.Desc{Name: name, Kind: timeseries.KindCounter, Agg: timeseries.AggSum, Help: help}
+}
+
+func gauge(name string, agg timeseries.Agg, help string) timeseries.Desc {
+	return timeseries.Desc{Name: name, Kind: timeseries.KindGauge, Agg: agg, Help: help}
+}
+
+// seriesDescs declares every scalar metric the sampler records, in column
+// order; snapshotStack builds Values in exactly this order.
+var seriesDescs = []timeseries.Desc{
+	counter("host_puts", "PUT operations completed at the driver."),
+	counter("host_gets", "GET operations completed at the driver."),
+	counter("host_deletes", "DELETE operations completed at the driver."),
+	counter("host_commands", "NVMe commands issued."),
+	counter("pcie_bytes", "PCIe command-fetch plus DMA payload bytes (the paper's PCIe traffic)."),
+	counter("pcie_total_bytes", "All PCIe bytes including completions and doorbells, as PCM counts TLPs."),
+	counter("pcie_dma_bytes", "PCIe DMA payload bytes."),
+	counter("pcie_command_bytes", "PCIe command-fetch bytes."),
+	counter("pcie_mmio_bytes", "PCIe doorbell MMIO bytes."),
+	counter("pcie_completion_bytes", "PCIe completion bytes."),
+	counter("nand_page_writes", "NAND pages programmed, incl. LSM flush/compaction/GC."),
+	counter("nand_page_reads", "NAND pages read."),
+	counter("nand_block_erases", "NAND blocks erased."),
+	counter("vlog_flushes", "Value-log page writes."),
+	counter("vlog_forced_flushes", "Forced (early) page-buffer flushes."),
+	counter("backfill_jumps", "Write-pointer backfill jumps in the page buffer."),
+	counter("device_memcpys", "In-device memcpy operations."),
+	counter("device_memcpy_time_ns", "Cumulative in-device copy time, simulated ns."),
+	counter("device_flush_wait_time_ns", "Cumulative request time blocked on NAND flushes, simulated ns."),
+	counter("vlog_gc_writes", "NAND page writes caused by vLog garbage collection."),
+	counter("lsm_compactions", "LSM-tree compactions run."),
+	counter("adaptive_inline", "Adaptive method: values sent inline."),
+	counter("adaptive_prp", "Adaptive method: values sent via PRP DMA."),
+	counter("adaptive_hybrid", "Adaptive method: values sent hybrid."),
+	gauge("sim_time_ns", timeseries.AggMax, "Simulated time of the snapshot, ns."),
+	gauge("buffer_util", timeseries.AggMean, "Payload bytes per flushed NAND byte in the vLog page buffer."),
+	gauge("buffer_wp", timeseries.AggSum, "Page-buffer write pointer (vLog byte offset)."),
+	gauge("buffer_frontier", timeseries.AggSum, "Page-buffer placement frontier (vLog byte offset)."),
+	gauge("buffer_open_pages", timeseries.AggSum, "Open page-buffer entries."),
+	gauge("vlog_free_bytes", timeseries.AggSum, "Value-log space left before compaction."),
+	gauge("flash_max_wear", timeseries.AggMax, "Highest per-block erase count in the flash array."),
+	gauge("wire_utilization", timeseries.AggMean, "Fraction of simulated time the PCIe wire was busy."),
+}
+
+// histHelp supplies Prometheus HELP text per histogram family.
+var histHelp = map[string]string{
+	"write_response_ns":      "Simulated PUT response time, ns.",
+	"read_response_ns":       "Simulated GET response time, ns.",
+	"op_round_trip_ns":       "NVMe command round-trip time by opcode, ns.",
+	"put_method_response_ns": "PUT response time by chosen transfer method, ns.",
+}
+
+// snapshotStack reads one stack's full metric state as a timeseries
+// snapshot: the flattened Stats tree, the Inspect-style gauges, and clones
+// of every latency histogram. Values are built in seriesDescs order. The
+// caller must hold whatever serializes access to the stack.
+func snapshotStack(st *shard.Stack) timeseries.Snapshot {
+	s := stackStats(st)
+	buf := st.Dev.Buffer()
+	now := st.Clock.Now()
+	values := []float64{
+		float64(s.Host.Puts),
+		float64(s.Host.Gets),
+		float64(s.Host.Deletes),
+		float64(s.Host.Commands),
+		float64(s.PCIe.Bytes),
+		float64(s.PCIe.TotalBytes),
+		float64(s.PCIe.DMABytes),
+		float64(s.PCIe.CommandBytes),
+		float64(s.PCIe.MMIOBytes),
+		float64(s.PCIe.CompletionBytes),
+		float64(s.Device.NANDPageWrites),
+		float64(s.Device.NANDPageReads),
+		float64(s.Device.BlockErases),
+		float64(s.Device.VLogFlushes),
+		float64(s.Device.ForcedFlushes),
+		float64(s.Device.BackfillJumps),
+		float64(s.Device.Memcpys),
+		float64(s.Device.MemcpyTime),
+		float64(s.Device.FlushWaitTime),
+		float64(s.Device.GCWrites),
+		float64(s.Device.Compactions),
+		float64(s.Adaptive.Inline),
+		float64(s.Adaptive.PRP),
+		float64(s.Adaptive.Hybrid),
+		float64(now),
+		s.Device.BufferUtil,
+		float64(buf.WP()),
+		float64(buf.Frontier()),
+		float64(buf.OpenPages()),
+		float64(st.Dev.VLog().FreeBytes()),
+		float64(st.Dev.Flash().MaxWear()),
+		st.Link.WireUtilization(now),
+	}
+	ds := st.Drv.Stats()
+	hists := []timeseries.Hist{
+		{Key: timeseries.HistKey{Name: "write_response_ns"}, H: ds.WriteResponse.Clone()},
+		{Key: timeseries.HistKey{Name: "read_response_ns"}, H: ds.ReadResponse.Clone()},
+	}
+	for _, name := range ds.PerOp.Names() {
+		hists = append(hists, timeseries.Hist{
+			Key: timeseries.HistKey{Name: "op_round_trip_ns", Label: "op", Value: name},
+			H:   ds.PerOp.Get(name).Clone(),
+		})
+	}
+	for _, name := range ds.PerMethod.Names() {
+		hists = append(hists, timeseries.Hist{
+			Key: timeseries.HistKey{Name: "put_method_response_ns", Label: "method", Value: name},
+			H:   ds.PerMethod.Get(name).Clone(),
+		})
+	}
+	return timeseries.Snapshot{Values: values, Hists: hists}
 }
 
 // TrafficAmplification reports PCIe bytes per payload byte written — the
