@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench smoke golden ci
+.PHONY: all build test race vet fmt bench bench-shards bench-smoke smoke golden ci
 
 all: build
 
@@ -19,9 +19,21 @@ vet:
 fmt:
 	gofmt -l .
 
-# Regenerate the shard-scaling results artifact.
+# Hot-path benchmarks: the testing.B micro suite with allocation counts
+# (benchstat-comparable; committed as results/bench_micro.txt) plus the
+# fixed-iteration before/after harness (results/BENCH_hotpath.json).
 bench:
+	$(GO) test -run=NONE -bench=. -benchmem -count=1 . | tee results/bench_micro.txt
+	$(GO) run ./cmd/bandslim-bench -experiment hotpath -scale 40000 -seed 42 -json results
+
+# Regenerate the shard-scaling results artifact.
+bench-shards:
 	$(GO) run ./cmd/bandslim-bench -experiment shards -scale 20000 -json results
+
+# One-iteration pass over every benchmark: catches bit-rot in bench code
+# without paying for a measurement run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
 
 # Flags shared by the smoke run and its golden regeneration: the exported
 # exposition is deterministic, so any drift is a real behavior change.
@@ -39,4 +51,4 @@ golden:
 	$(GO) run ./cmd/bandslim-bench $(SMOKE_FLAGS) -metrics-out results/golden/bench_smoke.prom -series-out .smoke.csv
 	rm -f .smoke.csv
 
-ci: build vet test race smoke
+ci: build vet test race smoke bench-smoke

@@ -1,0 +1,260 @@
+package bandslim_test
+
+// Allocation regression tests: the per-op simulation path must be
+// allocation-free in steady state. Steady state means the structural
+// allocations are behind us — pools warmed, scratch buffers grown to their
+// working size, and (for writes) keys already present so the MemTable
+// overwrites in place instead of inserting. New-key inserts, SSTable
+// flushes, and compactions legitimately allocate; they are amortized
+// structural work, not the per-op path.
+
+import (
+	"fmt"
+	"testing"
+
+	"bandslim"
+)
+
+// allocConfig builds the small deterministic stack the assertions run on.
+// NAND stays off for write paths (NAND programs allocate FTL bookkeeping);
+// read paths keep it on.
+func allocConfig(method bandslim.TransferMethod, policy bandslim.PackingPolicy, nandOn bool, tr bandslim.Tracer) bandslim.Config {
+	cfg := bandslim.DefaultConfig()
+	cfg.Method = method
+	cfg.Policy = policy
+	cfg.DisableNAND = !nandOn
+	cfg.Tracer = tr
+	return cfg
+}
+
+// assertZeroAllocs runs fn under testing.AllocsPerRun and fails on any
+// per-run allocation.
+func assertZeroAllocs(t *testing.T, what string, runs int, fn func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(runs, fn); avg != 0 {
+		t.Errorf("%s allocates %.2f objects per op in steady state, want 0", what, avg)
+	}
+}
+
+// tracers returns the tracer variants every assertion runs under: the
+// zero-cost disabled path and a ring-buffered recorder (Emit writes into a
+// preallocated ring, so tracing must stay allocation-free too).
+func tracers() map[string]bandslim.Tracer {
+	return map[string]bandslim.Tracer{
+		"tracer_off": nil,
+		"tracer_on":  bandslim.NewRecorder(4096),
+	}
+}
+
+func TestPutAllocsSteadyState(t *testing.T) {
+	cases := []struct {
+		name   string
+		method bandslim.TransferMethod
+		policy bandslim.PackingPolicy
+		size   int
+	}{
+		{"inline_32B", bandslim.Piggyback, bandslim.BackfillPacking, 32},
+		{"prp_4K", bandslim.Baseline, bandslim.Block, 4096},
+		{"adaptive_512B", bandslim.Adaptive, bandslim.BackfillPacking, 512},
+	}
+	for _, tc := range cases {
+		for trName, tr := range tracers() {
+			t.Run(tc.name+"/"+trName, func(t *testing.T) {
+				db, err := bandslim.Open(allocConfig(tc.method, tc.policy, false, tr))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer db.Close()
+				const nkeys = 16
+				keys := make([][]byte, nkeys)
+				value := make([]byte, tc.size)
+				for i := range keys {
+					keys[i] = []byte(fmt.Sprintf("ak%02d", i))
+					if err := db.Put(keys[i], value); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Warm the pools and scratch past their growth phase.
+				for r := 0; r < 4; r++ {
+					for _, k := range keys {
+						if err := db.Put(k, value); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				i := 0
+				assertZeroAllocs(t, "Put "+tc.name, 400, func() {
+					if err := db.Put(keys[i%nkeys], value); err != nil {
+						t.Fatal(err)
+					}
+					i++
+				})
+			})
+		}
+	}
+}
+
+func TestGetAllocsSteadyState(t *testing.T) {
+	for trName, tr := range tracers() {
+		t.Run(trName, func(t *testing.T) {
+			db, err := bandslim.Open(allocConfig(bandslim.Adaptive, bandslim.BackfillPacking, true, tr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			const nkeys = 64
+			keys := make([][]byte, nkeys)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("gk%02d", i))
+				if err := db.Put(keys[i], make([]byte, 128)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := 0
+			assertZeroAllocs(t, "Get", 400, func() {
+				v, err := db.Get(keys[i%nkeys])
+				if err != nil || len(v) != 128 {
+					t.Fatalf("Get: %d bytes, %v", len(v), err)
+				}
+				i++
+			})
+			dst := make([]byte, 0, 128)
+			i = 0
+			assertZeroAllocs(t, "GetInto", 400, func() {
+				v, err := db.GetInto(keys[i%nkeys], dst)
+				if err != nil || len(v) != 128 {
+					t.Fatalf("GetInto: %d bytes, %v", len(v), err)
+				}
+				dst = v
+				i++
+			})
+		})
+	}
+}
+
+func TestDeleteAllocsSteadyState(t *testing.T) {
+	db, err := bandslim.Open(allocConfig(bandslim.Adaptive, bandslim.BackfillPacking, false, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	key := []byte("del-key")
+	if err := db.Put(key, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// The first Delete inserts the tombstone (one structural allocation);
+	// repeat deletes overwrite it in place.
+	if err := db.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	assertZeroAllocs(t, "Delete", 400, func() {
+		if err := db.Delete(key); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestNextAllocsSteadyState(t *testing.T) {
+	db, err := bandslim.Open(allocConfig(bandslim.Adaptive, bandslim.BackfillPacking, true, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Enough keys that the measured window never exhausts the iterator, few
+	// enough to stay resident in the MemTable (no SSTable page decodes).
+	const nkeys = 2000
+	for i := 0; i < nkeys; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("nk%06d", i)), make([]byte, 48)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := db.NewIterator(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the iterator's reused key/value buffers.
+	for i := 0; i < 8 && it.Valid(); i++ {
+		it.Next()
+	}
+	assertZeroAllocs(t, "Iterator.Next", 400, func() {
+		if !it.Valid() {
+			t.Fatal("iterator exhausted inside the measured window")
+		}
+		it.Next()
+	})
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+}
+
+func TestShardedAllocsSteadyState(t *testing.T) {
+	for trName, tr := range tracers() {
+		t.Run(trName, func(t *testing.T) {
+			const nkeys = 16
+			keys := make([][]byte, nkeys)
+			value := make([]byte, 256)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("sk%02d", i))
+			}
+
+			// Write assertions on a NAND-off stack (NAND programs allocate
+			// FTL bookkeeping, and the write path never reads values back).
+			s, err := bandslim.OpenSharded(bandslim.ShardedConfig{
+				Shards:   2,
+				PerShard: allocConfig(bandslim.Adaptive, bandslim.BackfillPacking, false, tr),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			for r := 0; r < 5; r++ {
+				for _, k := range keys {
+					if err := s.Put(k, value); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			i := 0
+			assertZeroAllocs(t, "ShardedDB.Put", 400, func() {
+				if err := s.Put(keys[i%nkeys], value); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+
+			// Read assertions need NAND on: value reads are served from the
+			// simulated vLog, which DisableNAND stubs out.
+			g, err := bandslim.OpenSharded(bandslim.ShardedConfig{
+				Shards:   2,
+				PerShard: allocConfig(bandslim.Adaptive, bandslim.BackfillPacking, true, tr),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			for _, k := range keys {
+				if err := g.Put(k, value); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i = 0
+			assertZeroAllocs(t, "ShardedDB.Get", 400, func() {
+				v, err := g.Get(keys[i%nkeys])
+				if err != nil || len(v) != 256 {
+					t.Fatalf("Get: %d bytes, %v", len(v), err)
+				}
+				i++
+			})
+			dst := make([]byte, 0, 256)
+			i = 0
+			assertZeroAllocs(t, "ShardedDB.GetInto", 400, func() {
+				v, err := g.GetInto(keys[i%nkeys], dst)
+				if err != nil || len(v) != 256 {
+					t.Fatalf("GetInto: %d bytes, %v", len(v), err)
+				}
+				dst = v
+				i++
+			})
+		})
+	}
+}

@@ -151,7 +151,9 @@ type DB struct {
 	cfg     Config
 	st      *shard.Stack
 	sampler *timeseries.Sampler // nil unless Config.MetricsInterval > 0
-	closed  bool
+	// batch backs PutBatch, created lazily under mu.
+	batch  *driver.Batcher
+	closed bool
 }
 
 // stackOptions normalizes a Config into the per-stack options shared by the
@@ -222,7 +224,11 @@ func (db *DB) Put(key, value []byte) error {
 	return err
 }
 
-// Get fetches the value for key.
+// Get fetches the value for key. The returned slice is a view into the
+// driver's reusable read buffer: it stays valid until this DB's next
+// operation and must not be modified. Callers that retain the value past the
+// next operation — or run operations concurrently from other goroutines —
+// should use GetInto, which copies before the lock is released.
 func (db *DB) Get(key []byte) ([]byte, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -232,6 +238,86 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 	v, err := db.st.Drv.Get(key)
 	db.poll()
 	return v, err
+}
+
+// GetInto fetches the value for key and copies it into dst (grown as
+// needed), returning the filled slice. Unlike Get, the result is caller-
+// owned: it remains valid across later operations and under concurrent use.
+// Pass a reused buffer to make steady-state reads allocation-free.
+func (db *DB) GetInto(key, dst []byte) ([]byte, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	v, err := db.st.Drv.Get(key)
+	if err == nil {
+		dst = append(dst[:0], v...)
+	}
+	db.poll()
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// PutBatch writes the pairs through the host-side batcher as bulk
+// OpKVBatchWrite commands and flushes, so every record is durable when it
+// returns. One bulk command amortizes per-command round trips across up to
+// shard.DefaultBatchOps records — the high-throughput ingest path.
+func (db *DB) PutBatch(keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("bandslim: PutBatch got %d keys, %d values", len(keys), len(values))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.batch == nil {
+		b, err := db.st.Drv.NewBatcher(shard.DefaultBatchOps)
+		if err != nil {
+			return err
+		}
+		db.batch = b
+	}
+	for i := range keys {
+		if err := db.batch.Put(keys[i], values[i]); err != nil {
+			db.poll()
+			return err
+		}
+	}
+	err := db.batch.Flush()
+	db.poll()
+	return err
+}
+
+// GetBatch resolves every key, copying each value into the matching vals
+// lane (vals[i], grown as needed; a nil vals allocates one). The filled
+// slice-of-slices is returned; values are caller-owned copies. On error,
+// lanes past the failing key are left untouched.
+func (db *DB) GetBatch(keys, vals [][]byte) ([][]byte, error) {
+	if vals == nil {
+		vals = make([][]byte, len(keys))
+	}
+	if len(vals) != len(keys) {
+		return nil, fmt.Errorf("bandslim: GetBatch got %d keys, %d value lanes", len(keys), len(vals))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	for i := range keys {
+		v, err := db.st.Drv.Get(keys[i])
+		if err != nil {
+			db.poll()
+			return nil, err
+		}
+		vals[i] = append(vals[i][:0], v...)
+		db.poll()
+	}
+	return vals, nil
 }
 
 // Delete removes a key.
@@ -338,7 +424,12 @@ func (it *Iterator) next() {
 		it.valid = false
 		return
 	}
-	it.key, it.value, it.valid = k, v, true
+	// Copy the driver's read-buffer views into iterator-owned reused
+	// buffers, so the pair stays valid while the caller interleaves other
+	// DB operations.
+	it.key = append(it.key[:0], k...)
+	it.value = append(it.value[:0], v...)
+	it.valid = true
 }
 
 // Now reports the DB's simulated time.

@@ -424,17 +424,21 @@ func TestConcurrentAccess(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			// Get returns a view into the driver's read buffer, so concurrent
+			// readers retain values through GetInto with a goroutine-owned dst.
+			var dst []byte
 			for i := 0; i < 30; i++ {
 				key := []byte(fmt.Sprintf("c%d-%d", g, i))
 				if err := db.Put(key, []byte{byte(g), byte(i)}); err != nil {
 					errs <- err
 					return
 				}
-				got, err := db.Get(key)
+				got, err := db.GetInto(key, dst)
 				if err != nil || got[0] != byte(g) || got[1] != byte(i) {
 					errs <- fmt.Errorf("goroutine %d read mismatch: %v %v", g, got, err)
 					return
 				}
+				dst = got
 			}
 			db.Stats()
 		}(g)

@@ -5,6 +5,7 @@
 //
 //	bandslim-bench -experiment fig8 [-scale 20000] [-seed 42] [-csv out/]
 //	bandslim-bench -experiment shards [-shards 1,2,4,8] [-json out/]
+//	bandslim-bench -experiment hotpath [-scale 40000] [-json out/]
 //	bandslim-bench -experiment all
 //	bandslim-bench -trace out.json [-shards 4]
 //	bandslim-bench -metrics-out out.prom -series-out series.csv [-shards 4] [-listen :9090]
@@ -13,6 +14,12 @@
 // Each experiment prints the same rows/series the paper plots; -csv also
 // writes one CSV file per table for plotting. The shards experiment
 // additionally writes machine-readable BENCH_shards.json.
+//
+// The hotpath experiment measures the simulator's own wall-clock cost: the
+// micro-benchmark suite with allocation counts plus the 4-shard mixed
+// workload in per-op and batched modes, written as BENCH_hotpath.json with
+// before/after speedups against the committed seed-commit baseline.
+// -cpuprofile and -memprofile capture pprof profiles of any run.
 //
 // -trace skips the experiments and instead captures a short adaptive-method
 // workload with command-level tracing on, writing Chrome trace_event JSON
@@ -36,6 +43,9 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -147,9 +157,44 @@ func main() {
 		seriesOut  = flag.String("series-out", "", "run an instrumented workload and write its sampled metric series CSV here")
 		listen     = flag.String("listen", "", "serve /metrics and /progress on this address during the instrumented run")
 		intervalUs = flag.Int64("metrics-interval-us", 100, "simulated sampling interval for the instrumented run, µs")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this path")
 		list       = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Println("wrote", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			}
+			f.Close()
+			fmt.Println("wrote", path)
+		}()
+	}
 
 	if *list {
 		fmt.Println("experiments:")
@@ -205,6 +250,44 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d events, %d shard(s)) — load it at https://ui.perfetto.dev\n",
 			*tracePath, len(events), shardCount)
+		return
+	}
+
+	if *experiment == "hotpath" {
+		start := time.Now()
+		report, err := bench.RunHotpath(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		raw, err := bench.HotpathJSON(report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		dir := *jsonDir
+		if dir == "" {
+			dir = "."
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(dir, "BENCH_hotpath.json")
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+		names := make([]string, 0, len(report.Speedup))
+		for k := range report.Speedup {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Printf("  %s: %.2fx\n", k, report.Speedup[k])
+		}
+		fmt.Printf("hotpath experiment completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

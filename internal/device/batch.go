@@ -65,10 +65,11 @@ func (d *Device) execBatchWrite(t sim.Time, cmd nvme.Command) (int, sim.Time, er
 	if total == 0 {
 		return 0, t, errBadField
 	}
-	payload, end, err := d.dmaValue(t, cmd, total)
+	payload, end, err := d.dmaValue(t, cmd, total, d.valueBuf[:0])
 	if err != nil {
 		return 0, t, err
 	}
+	d.valueBuf = payload[:0]
 	count := 0
 	rest := payload
 	for len(rest) > 0 {

@@ -102,6 +102,18 @@ type Device struct {
 	iter    *lsm.Iterator
 	stats   Stats
 	tr      trace.Tracer
+
+	// Scratch reused across commands. The controller executes commands one at
+	// a time (single-owner firmware), and §3.3.1's contract of one open write
+	// per queue means pwScratch can back every pendingWrite. Downstream
+	// consumers copy synchronously (pagebuf writeBytes, memtable key copy), so
+	// nothing retains these slices across commands.
+	pwScratch  pendingWrite
+	keyScratch []byte   // per-command key decode (read/delete/seek)
+	valueBuf   []byte   // pendingWrite value backing (write/batch reassembly)
+	readBuf    []byte   // vLog read destination (read/next)
+	nextBuf    []byte   // NEXT payload framing [klen][key][value]
+	prpScratch []uint64 // PRP page-run reconstruction for transfers
 }
 
 // New builds a device over a fresh flash array, sharing the caller's clock,
@@ -281,18 +293,25 @@ var (
 	errBadField    = fmt.Errorf("device: invalid command field")
 )
 
-// execWrite starts (and possibly completes) a key-value write.
+// execWrite starts (and possibly completes) a key-value write. The
+// pendingWrite and its key/value backing are controller-owned scratch, reused
+// across commands.
 func (d *Device) execWrite(t sim.Time, cmd nvme.Command) (sim.Time, error) {
-	key := cmd.Key()
-	if len(key) == 0 {
+	pw := &d.pwScratch
+	pw.key = cmd.AppendKey(pw.key[:0])
+	if len(pw.key) == 0 {
 		d.stats.BadCommands.Inc()
 		return t, errBadField
 	}
 	total := int(cmd.ValueSize())
-	pw := &pendingWrite{key: key, want: total, mode: cmd.TransferMode(), start: t, reached: t}
+	pw.value = d.valueBuf[:0]
+	pw.want = total
+	pw.mode = cmd.TransferMode()
+	pw.dmaPart = 0
+	pw.start, pw.reached = t, t
 	switch pw.mode {
 	case nvme.ModePRP:
-		value, end, err := d.dmaValue(t, cmd, total)
+		value, end, err := d.dmaValue(t, cmd, total, pw.value)
 		if err != nil {
 			return t, err
 		}
@@ -300,7 +319,7 @@ func (d *Device) execWrite(t sim.Time, cmd nvme.Command) (sim.Time, error) {
 		pw.dmaPart = total
 		pw.reached = end
 	case nvme.ModeSGL:
-		value, end, err := d.sglValue(t, cmd, total)
+		value, end, err := d.sglValue(t, cmd, total, pw.value)
 		if err != nil {
 			return t, err
 		}
@@ -308,15 +327,15 @@ func (d *Device) execWrite(t sim.Time, cmd nvme.Command) (sim.Time, error) {
 		pw.dmaPart = total
 		pw.reached = end
 	case nvme.ModeInline:
-		frag := cmd.WritePiggyback(min(total, nvme.PiggybackWriteCapacity))
-		pw.value = append(pw.value, frag...)
-		d.stats.InlineBytes.Add(int64(len(frag)))
+		n := min(total, nvme.PiggybackWriteCapacity)
+		pw.value = cmd.AppendWritePiggyback(pw.value, n)
+		d.stats.InlineBytes.Add(int64(n))
 	case nvme.ModeHybrid:
 		dmaPart := total / pcie.MemoryPageSize * pcie.MemoryPageSize
 		if dmaPart == 0 {
 			return t, errBadField // hybrid requires at least one full page
 		}
-		value, end, err := d.dmaValue(t, cmd, dmaPart)
+		value, end, err := d.dmaValue(t, cmd, dmaPart, pw.value)
 		if err != nil {
 			return t, err
 		}
@@ -326,6 +345,7 @@ func (d *Device) execWrite(t sim.Time, cmd nvme.Command) (sim.Time, error) {
 	default:
 		return t, errBadField
 	}
+	d.valueBuf = pw.value[:0]
 	if len(pw.value) >= pw.want {
 		return d.commitWrite(pw)
 	}
@@ -333,38 +353,39 @@ func (d *Device) execWrite(t sim.Time, cmd nvme.Command) (sim.Time, error) {
 	return pw.reached, nil
 }
 
-// dmaValue runs the page-unit DMA described by the command's PRP fields.
-func (d *Device) dmaValue(t sim.Time, cmd nvme.Command, n int) ([]byte, sim.Time, error) {
-	prp := nvme.PRPList{Payload: n}
-	pages := pcie.PagesFor(n)
-	// PRP1 holds the first page; PRP2 the second page or the list pointer.
-	// The simulation stores the full list in host memory keyed off PRP1
-	// sequentially (addresses are synthetic), so reconstruct from PRP1.
+// prpFor reconstructs the PRP list a command describes into the controller's
+// page-run scratch. PRP1 holds the first page; PRP2 the second page or the
+// list pointer. The simulation stores the full list in host memory keyed off
+// PRP1 sequentially (addresses are synthetic), so reconstruct from PRP1.
+func (d *Device) prpFor(cmd nvme.Command, n int) nvme.PRPList {
 	base := cmd.PRP1()
-	for i := 0; i < pages; i++ {
-		prp.Pages = append(prp.Pages, base+uint64(i)*pcie.MemoryPageSize)
+	d.prpScratch = d.prpScratch[:0]
+	for i := 0; i < pcie.PagesFor(n); i++ {
+		d.prpScratch = append(d.prpScratch, base+uint64(i)*pcie.MemoryPageSize)
 	}
-	value, end, err := d.eng.TransferIn(t, d.hostMem, prp)
-	if err != nil {
-		return nil, t, err
-	}
-	d.stats.DMAValueBytes.Add(int64(n))
-	return value[:n], end, nil
+	return nvme.PRPList{Pages: d.prpScratch, Payload: n}
 }
 
-// sglValue runs the Scatter-Gather List transfer described by the command.
-func (d *Device) sglValue(t sim.Time, cmd nvme.Command, n int) ([]byte, sim.Time, error) {
-	prp := nvme.PRPList{Payload: n}
-	base := cmd.PRP1()
-	for i := 0; i < pcie.PagesFor(n); i++ {
-		prp.Pages = append(prp.Pages, base+uint64(i)*pcie.MemoryPageSize)
-	}
-	value, end, err := d.eng.TransferInSGL(t, d.hostMem, prp)
+// dmaValue runs the page-unit DMA described by the command's PRP fields,
+// appending the payload to dst.
+func (d *Device) dmaValue(t sim.Time, cmd nvme.Command, n int, dst []byte) ([]byte, sim.Time, error) {
+	value, end, err := d.eng.TransferInTo(t, d.hostMem, d.prpFor(cmd, n), dst)
 	if err != nil {
 		return nil, t, err
 	}
 	d.stats.DMAValueBytes.Add(int64(n))
-	return value[:n], end, nil
+	return value, end, nil
+}
+
+// sglValue runs the Scatter-Gather List transfer described by the command,
+// appending the payload to dst.
+func (d *Device) sglValue(t sim.Time, cmd nvme.Command, n int, dst []byte) ([]byte, sim.Time, error) {
+	value, end, err := d.eng.TransferInSGLTo(t, d.hostMem, d.prpFor(cmd, n), dst)
+	if err != nil {
+		return nil, t, err
+	}
+	d.stats.DMAValueBytes.Add(int64(n))
+	return value, end, nil
 }
 
 // execTransfer appends one trailing fragment to the open write.
@@ -375,9 +396,10 @@ func (d *Device) execTransfer(t sim.Time, cmd nvme.Command) (sim.Time, error) {
 		return t, errBadField
 	}
 	remain := pw.want - len(pw.value)
-	frag := cmd.TransferPiggyback(min(remain, nvme.PiggybackTransferCapacity))
-	pw.value = append(pw.value, frag...)
-	d.stats.InlineBytes.Add(int64(len(frag)))
+	n := min(remain, nvme.PiggybackTransferCapacity)
+	pw.value = cmd.AppendTransferPiggyback(pw.value, n)
+	d.valueBuf = pw.value[:0]
+	d.stats.InlineBytes.Add(int64(n))
 	d.stats.TransferFragments.Inc()
 	if t > pw.reached {
 		pw.reached = t
@@ -420,7 +442,8 @@ func (d *Device) commitWrite(pw *pendingWrite) (sim.Time, error) {
 // execRead resolves a key and DMAs its value into the host pages the command
 // describes. It returns the value size.
 func (d *Device) execRead(t sim.Time, cmd nvme.Command) (int, sim.Time, error) {
-	key := cmd.Key()
+	d.keyScratch = cmd.AppendKey(d.keyScratch[:0])
+	key := d.keyScratch
 	if len(key) == 0 {
 		return 0, t, errBadField
 	}
@@ -431,10 +454,11 @@ func (d *Device) execRead(t sim.Time, cmd nvme.Command) (int, sim.Time, error) {
 	if !ok || e.Tombstone {
 		return 0, end, errKeyNotFound
 	}
-	value, end, err := d.vlog.Read(end, e.Addr, int(e.Size))
+	value, end, err := d.vlog.ReadInto(end, e.Addr, int(e.Size), d.readBuf[:0])
 	if err != nil {
 		return 0, end, err
 	}
+	d.readBuf = value[:0]
 	end, err = d.transferOut(end, cmd, value)
 	if err != nil {
 		return 0, end, err
@@ -448,17 +472,13 @@ func (d *Device) transferOut(t sim.Time, cmd nvme.Command, data []byte) (sim.Tim
 	if len(data) == 0 {
 		return t, nil
 	}
-	prp := nvme.PRPList{Payload: len(data)}
-	base := cmd.PRP1()
-	for i := 0; i < pcie.PagesFor(len(data)); i++ {
-		prp.Pages = append(prp.Pages, base+uint64(i)*pcie.MemoryPageSize)
-	}
-	return d.eng.TransferOut(t, d.hostMem, prp, data)
+	return d.eng.TransferOut(t, d.hostMem, d.prpFor(cmd, len(data)), data)
 }
 
 // execDelete writes a tombstone.
 func (d *Device) execDelete(t sim.Time, cmd nvme.Command) (sim.Time, error) {
-	key := cmd.Key()
+	d.keyScratch = cmd.AppendKey(d.keyScratch[:0])
+	key := d.keyScratch
 	if len(key) == 0 {
 		return t, errBadField
 	}
@@ -477,7 +497,8 @@ func (d *Device) execDelete(t sim.Time, cmd nvme.Command) (sim.Time, error) {
 // execSeek opens the device-side iterator at the first key >= the command
 // key.
 func (d *Device) execSeek(t sim.Time, cmd nvme.Command) (sim.Time, error) {
-	it, err := d.tree.Seek(t, cmd.Key())
+	d.keyScratch = cmd.AppendKey(d.keyScratch[:0])
+	it, err := d.tree.Seek(t, d.keyScratch)
 	if err != nil {
 		return t, err
 	}
@@ -493,14 +514,16 @@ func (d *Device) execNext(t sim.Time, cmd nvme.Command) (int, sim.Time, error) {
 		return 0, t, errIterEnd
 	}
 	e := d.iter.Entry()
-	value, end, err := d.vlog.Read(d.iter.End(), e.Addr, int(e.Size))
+	value, end, err := d.vlog.ReadInto(d.iter.End(), e.Addr, int(e.Size), d.readBuf[:0])
 	if err != nil {
 		return 0, t, err
 	}
-	payload := make([]byte, 0, 1+len(e.Key)+len(value))
+	d.readBuf = value[:0]
+	payload := d.nextBuf[:0]
 	payload = append(payload, byte(len(e.Key)))
 	payload = append(payload, e.Key...)
 	payload = append(payload, value...)
+	d.nextBuf = payload[:0]
 	end, err = d.transferOut(end, cmd, payload)
 	if err != nil {
 		return 0, end, err

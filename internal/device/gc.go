@@ -86,6 +86,10 @@ func (d *Device) liveEntriesBelow(t sim.Time, limit vlog.Addr) ([]lsm.Entry, sim
 	for it.Valid() {
 		e := it.Entry()
 		if e.Addr < limit {
+			// The iterator's key is a view into its reused decode buffer;
+			// the snapshot outlives the iteration, so copy it (GC is a cold
+			// path).
+			e.Key = append([]byte(nil), e.Key...)
 			live = append(live, e)
 		}
 		it.Next(t)

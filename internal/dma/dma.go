@@ -81,10 +81,26 @@ func (e *Engine) SetTracer(tr trace.Tracer) { e.tr = tr }
 // the engine writes whole pages into device memory; the first prp.Payload
 // bytes are the value.
 func (e *Engine) TransferIn(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList) ([]byte, sim.Time, error) {
+	payload, end, err := e.TransferInTo(t, m, prp, nil)
+	if err != nil || payload == nil {
+		return nil, end, err
+	}
+	buf := make([]byte, prp.TransferSize())
+	copy(buf, payload)
+	return buf, end, nil
+}
+
+// TransferInTo is the scratch-reusing variant of TransferIn: the payload is
+// gathered by appending to dst (pass scratch[:0] to reuse capacity) and the
+// returned slice holds exactly prp.Payload bytes — no page padding, no
+// allocation once dst has grown to the working-set size. Link occupancy and
+// the byte ledger are identical to TransferIn: full pages still cross the
+// wire.
+func (e *Engine) TransferInTo(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList, dst []byte) ([]byte, sim.Time, error) {
 	if prp.Payload == 0 {
 		return nil, t, nil
 	}
-	payload, err := prp.Gather(m)
+	payload, err := prp.GatherInto(m, dst)
 	if err != nil {
 		return nil, t, fmt.Errorf("dma: gather: %w", err)
 	}
@@ -100,9 +116,7 @@ func (e *Engine) TransferIn(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList) ([
 	if e.tr != nil {
 		e.tr.Emit(trace.Event{Cat: trace.CatDMA, Name: trace.EvDMAIn, Start: t, End: end, Bytes: int64(size), Arg: int64(prp.Payload)})
 	}
-	buf := make([]byte, size)
-	copy(buf, payload)
-	return buf, end, nil
+	return payload, end, nil
 }
 
 // TransferInSGL performs a host→device Scatter-Gather List transfer: exact
@@ -110,10 +124,23 @@ func (e *Engine) TransferIn(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList) ([
 // SGL setup and per-descriptor costs that make SGL a loser below ~32 KB
 // (§2.5). One descriptor per host page, as the Linux driver maps buffers.
 func (e *Engine) TransferInSGL(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList) ([]byte, sim.Time, error) {
+	payload, end, err := e.TransferInSGLTo(t, m, prp, nil)
+	if err != nil || payload == nil {
+		return nil, end, err
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, end, nil
+}
+
+// TransferInSGLTo is the scratch-reusing variant of TransferInSGL: the payload
+// is gathered by appending to dst (pass scratch[:0] to reuse capacity). Link
+// occupancy and the byte ledger are identical to TransferInSGL.
+func (e *Engine) TransferInSGLTo(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList, dst []byte) ([]byte, sim.Time, error) {
 	if prp.Payload == 0 {
 		return nil, t, nil
 	}
-	payload, err := prp.Gather(m)
+	payload, err := prp.GatherInto(m, dst)
 	if err != nil {
 		return nil, t, fmt.Errorf("dma: sgl gather: %w", err)
 	}
@@ -127,9 +154,7 @@ func (e *Engine) TransferInSGL(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList)
 	if e.tr != nil {
 		e.tr.Emit(trace.Event{Cat: trace.CatDMA, Name: trace.EvSGLIn, Start: t, End: end, Bytes: int64(prp.Payload), Arg: int64(segments)})
 	}
-	out := make([]byte, len(payload))
-	copy(out, payload)
-	return out, end, nil
+	return payload, end, nil
 }
 
 // TransferOut performs a device→host page-unit DMA (reads): data is

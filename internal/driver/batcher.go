@@ -19,8 +19,12 @@ type Batcher struct {
 	maxOps  int
 	maxSize int
 	keys    [][]byte
-	payload []byte
-	stats   BatcherStats
+	// keyArena backs every buffered key in one contiguous allocation; keys
+	// holds sub-slices into it. This removes the per-Put key copy allocation
+	// (one arena append instead of a fresh []byte per record).
+	keyArena []byte
+	payload  []byte
+	stats    BatcherStats
 }
 
 // BatcherStats tallies batching behaviour.
@@ -40,7 +44,16 @@ func (d *Driver) NewBatcher(maxOps int) (*Batcher, error) {
 	if maxOps < 1 {
 		return nil, fmt.Errorf("driver: batch size must be >= 1")
 	}
-	return &Batcher{d: d, maxOps: maxOps, maxSize: MaxValueSize - 4096}, nil
+	// Preallocate from the size hints so steady-state Put never grows: the
+	// payload is bounded by maxSize and the arena by maxOps full-size keys.
+	return &Batcher{
+		d:        d,
+		maxOps:   maxOps,
+		maxSize:  MaxValueSize - 4096,
+		keys:     make([][]byte, 0, maxOps),
+		keyArena: make([]byte, 0, maxOps*nvme.MaxKeySize),
+		payload:  make([]byte, 0, MaxValueSize-4096),
+	}, nil
 }
 
 // Stats exposes the batching tallies.
@@ -68,7 +81,11 @@ func (b *Batcher) Put(key, value []byte) error {
 			return err
 		}
 	}
-	b.keys = append(b.keys, append([]byte(nil), key...))
+	// The arena never reallocates in steady state (capacity covers
+	// maxOps*MaxKeySize), so the sub-slices in b.keys stay valid.
+	start := len(b.keyArena)
+	b.keyArena = append(b.keyArena, key...)
+	b.keys = append(b.keys, b.keyArena[start:len(b.keyArena):len(b.keyArena)])
 	b.payload = device.EncodeBatchRecord(b.payload, key, value)
 	b.stats.Ops.Inc()
 	if len(b.keys) > b.stats.PeakAtRiskOps {
@@ -88,11 +105,13 @@ func (b *Batcher) Flush() error {
 	if len(b.keys) == 0 {
 		return nil
 	}
-	prp, err := nvme.BuildPRP(b.d.mem, b.payload)
+	prp, fresh, err := b.d.stagePayload(b.payload)
 	if err != nil {
 		return err
 	}
-	defer prp.Free(b.d.mem)
+	if fresh {
+		defer prp.Free(b.d.mem)
+	}
 	var cmd nvme.Command
 	cmd.SetOpcode(nvme.OpKVBatchWrite)
 	cmd.SetTransferMode(nvme.ModePRP)
@@ -116,6 +135,7 @@ func (b *Batcher) Flush() error {
 	b.stats.FlushedBytes.Add(int64(len(b.payload)))
 	b.d.stats.Puts.Add(int64(len(b.keys)))
 	b.keys = b.keys[:0]
+	b.keyArena = b.keyArena[:0]
 	b.payload = b.payload[:0]
 	return nil
 }
@@ -126,8 +146,15 @@ func (b *Batcher) Flush() error {
 // every record written through the ordinary per-PUT path, which lands in the
 // device's battery-backed buffer before the command completes — survive.
 func (b *Batcher) SimulatePowerFailure() [][]byte {
-	lost := b.keys
-	b.keys = nil
-	b.payload = nil
+	// Copy the keys out: the buffered sub-slices point into the reusable
+	// arena, which the next Put would overwrite (a cold path — power failure
+	// is not a steady-state event).
+	var lost [][]byte
+	for _, k := range b.keys {
+		lost = append(lost, append([]byte(nil), k...))
+	}
+	b.keys = b.keys[:0]
+	b.keyArena = b.keyArena[:0]
+	b.payload = b.payload[:0]
 	return lost
 }

@@ -128,6 +128,22 @@ type Driver struct {
 	nextID    uint16
 	stats     Stats
 	tr        trace.Tracer
+
+	// stage is the driver's persistent staging region: one contiguous
+	// MaxValueSize run of pinned host pages, allocated at first use and
+	// reused for every PUT payload and GET/NEXT/Identify read buffer. Reuse
+	// is what makes the steady-state op path free of host-memory churn; the
+	// contiguous run preserves the sequential-address PRP reconstruction the
+	// device performs from PRP1. The driver is single-owner, so one region
+	// suffices — every command completes before the next is staged.
+	stage nvme.PRPList
+	// readBuf receives gathered GET/NEXT/Identify payloads. Get and Next
+	// return views into it, valid until the next driver operation.
+	readBuf []byte
+	// cmdScratch backs the per-op command bursts (inline tails); compScratch
+	// backs submitBurst's completion slice.
+	cmdScratch  []nvme.Command
+	compScratch []nvme.Completion
 }
 
 // New binds a driver to a device sharing the same clock, link and host
@@ -246,8 +262,10 @@ func (d *Driver) submit(cmd nvme.Command) (nvme.Completion, error) {
 // device drain them, then reaps every completion with one CQ doorbell. The
 // burst costs one round trip plus a per-command pipeline interval. Bursts
 // larger than the queue are split transparently.
+// The returned slice is completion scratch, valid until the next burst.
 func (d *Driver) submitBurst(cmds []nvme.Command) ([]nvme.Completion, error) {
-	var out []nvme.Completion
+	out := d.compScratch[:0]
+	defer func() { d.compScratch = out[:0] }()
 	maxBurst := d.dev.Queues().SQ.Size() - 1
 	for len(cmds) > 0 {
 		n := len(cmds)
@@ -297,6 +315,30 @@ func (d *Driver) allocID() uint16 {
 	return d.nextID
 }
 
+// staging returns the persistent staging region, allocating it on first use.
+func (d *Driver) staging() nvme.PRPList {
+	if d.stage.Pages == nil {
+		d.stage = nvme.AllocStaging(d.mem, MaxValueSize)
+	}
+	return d.stage
+}
+
+// stagePayload stages value into the persistent region and returns the PRP
+// view describing it. Values beyond the region's capacity (larger than
+// MaxValueSize) fall back to a fresh allocation; the caller must Free the
+// returned list iff fresh is true.
+func (d *Driver) stagePayload(value []byte) (prp nvme.PRPList, fresh bool, err error) {
+	if len(value) > MaxValueSize {
+		prp, err = nvme.BuildPRP(d.mem, value)
+		return prp, true, err
+	}
+	prp = d.staging().WithPayload(len(value))
+	if err := prp.Scatter(d.mem, value); err != nil {
+		return nvme.PRPList{}, false, err
+	}
+	return prp, false, nil
+}
+
 // Put writes one key-value pair, choosing the transfer strategy per the
 // configured method, and records the response time.
 func (d *Driver) Put(key, value []byte) error {
@@ -330,14 +372,16 @@ func (d *Driver) Put(key, value []byte) error {
 	return nil
 }
 
-// putPRP stages the value in host pages and sends one write command whose
-// PRP fields describe them.
+// putPRP stages the value in the persistent staging region and sends one
+// write command whose PRP fields describe it.
 func (d *Driver) putPRP(key, value []byte) error {
-	prp, err := nvme.BuildPRP(d.mem, value)
+	prp, fresh, err := d.stagePayload(value)
 	if err != nil {
 		return err
 	}
-	defer prp.Free(d.mem)
+	if fresh {
+		defer prp.Free(d.mem)
+	}
 	var cmd nvme.Command
 	cmd.SetOpcode(nvme.OpKVWrite)
 	cmd.SetTransferMode(nvme.ModePRP)
@@ -359,14 +403,16 @@ func (d *Driver) putPRP(key, value []byte) error {
 	return comp.Status.Err()
 }
 
-// putSGL stages the value in host pages and sends one write command whose
-// pages the device walks as SGL segments.
+// putSGL stages the value in the persistent staging region and sends one
+// write command whose pages the device walks as SGL segments.
 func (d *Driver) putSGL(key, value []byte) error {
-	prp, err := nvme.BuildPRP(d.mem, value)
+	prp, fresh, err := d.stagePayload(value)
 	if err != nil {
 		return err
 	}
-	defer prp.Free(d.mem)
+	if fresh {
+		defer prp.Free(d.mem)
+	}
 	var cmd nvme.Command
 	cmd.SetOpcode(nvme.OpKVWrite)
 	cmd.SetTransferMode(nvme.ModeSGL)
@@ -398,7 +444,9 @@ func (d *Driver) putInline(key, value []byte) error {
 	cmd.SetValueSize(uint32(len(value)))
 	n := cmd.SetWritePiggyback(value)
 	if d.pipelined {
-		cmds := append([]nvme.Command{cmd}, d.tailCommands(value[n:])...)
+		cmds := append(d.cmdScratch[:0], cmd)
+		cmds = d.appendTailCommands(cmds, value[n:])
+		d.cmdScratch = cmds[:0]
 		comps, err := d.submitBurst(cmds)
 		if err != nil {
 			return err
@@ -426,11 +474,13 @@ func (d *Driver) putHybrid(key, value []byte) error {
 	if dmaPart == 0 {
 		return d.putInline(key, value)
 	}
-	prp, err := nvme.BuildPRP(d.mem, value[:dmaPart])
+	prp, fresh, err := d.stagePayload(value[:dmaPart])
 	if err != nil {
 		return err
 	}
-	defer prp.Free(d.mem)
+	if fresh {
+		defer prp.Free(d.mem)
+	}
 	var cmd nvme.Command
 	cmd.SetOpcode(nvme.OpKVWrite)
 	cmd.SetTransferMode(nvme.ModeHybrid)
@@ -453,27 +503,27 @@ func (d *Driver) putHybrid(key, value []byte) error {
 	return d.sendTail(value[dmaPart:])
 }
 
-// tailCommands builds the trailing transfer commands for the remaining
-// value bytes.
-func (d *Driver) tailCommands(rest []byte) []nvme.Command {
-	var cmds []nvme.Command
+// appendTailCommands appends the trailing transfer commands for the
+// remaining value bytes to dst (pass scratch[:0] to reuse capacity).
+func (d *Driver) appendTailCommands(dst []nvme.Command, rest []byte) []nvme.Command {
 	for len(rest) > 0 {
 		var tr nvme.Command
 		tr.SetOpcode(nvme.OpKVTransfer)
 		tr.SetTransferMode(nvme.ModeInline)
 		tr.SetCommandID(d.allocID())
 		k := tr.SetTransferPiggyback(rest)
-		cmds = append(cmds, tr)
+		dst = append(dst, tr)
 		rest = rest[k:]
 	}
-	return cmds
+	return dst
 }
 
 // sendTail streams the remaining value bytes in transfer commands — one
 // synchronous round trip each under the paper's passthrough, or a single
 // burst when pipelining is enabled.
 func (d *Driver) sendTail(rest []byte) error {
-	cmds := d.tailCommands(rest)
+	cmds := d.appendTailCommands(d.cmdScratch[:0], rest)
+	d.cmdScratch = cmds[:0]
 	if d.pipelined {
 		comps, err := d.submitBurst(cmds)
 		if err != nil {
@@ -501,14 +551,13 @@ func (d *Driver) sendTail(rest []byte) error {
 // MaxValueSize bounds the read buffer the driver stages for GETs.
 const MaxValueSize = 64 * 1024
 
-// Get reads the value for key.
+// Get reads the value for key. The returned slice is a view into the
+// driver's reusable read buffer: it is valid until the next driver operation
+// and must be copied by callers that retain it (caller-owned semantics; the
+// DB layer's GetInto does the copy for concurrent use).
 func (d *Driver) Get(key []byte) ([]byte, error) {
 	start := d.clock.Now()
-	prp, err := nvme.BuildPRP(d.mem, make([]byte, MaxValueSize))
-	if err != nil {
-		return nil, err
-	}
-	defer prp.Free(d.mem)
+	prp := d.staging().WithPayload(MaxValueSize)
 	var cmd nvme.Command
 	cmd.SetOpcode(nvme.OpKVRead)
 	cmd.SetCommandID(d.allocID())
@@ -526,18 +575,21 @@ func (d *Driver) Get(key []byte) ([]byte, error) {
 	if err := comp.Status.Err(); err != nil {
 		return nil, err
 	}
+	// Gather exactly the bytes the device reported; stale staging bytes
+	// beyond the payload are never read.
 	n := int(comp.Result)
-	data, err := prp.Gather(d.mem)
+	data, err := prp.WithPayload(n).GatherInto(d.mem, d.readBuf[:0])
 	if err != nil {
 		return nil, err
 	}
+	d.readBuf = data[:0]
 	d.stats.Gets.Inc()
 	now := d.clock.Now()
 	d.stats.ReadResponse.Observe(float64(now.Sub(start)))
 	if d.tr != nil {
 		d.tr.Emit(trace.Event{Cat: trace.CatDriver, Name: trace.EvGet, Op: byte(nvme.OpKVRead), Start: start, End: now, Bytes: int64(n)})
 	}
-	return data[:n], nil
+	return data, nil
 }
 
 // Delete removes a key.
@@ -586,13 +638,11 @@ func (d *Driver) Seek(start []byte) error {
 // match it with errors.Is, including through wrapped returns.
 var ErrIterDone = errors.New("driver: iterator exhausted")
 
-// Next returns the device iterator's current pair and advances it.
+// Next returns the device iterator's current pair and advances it. Like Get,
+// the returned key and value are views into the driver's reusable read
+// buffer, valid until the next driver operation; retaining callers must copy.
 func (d *Driver) Next() (key, value []byte, err error) {
-	prp, err := nvme.BuildPRP(d.mem, make([]byte, MaxValueSize))
-	if err != nil {
-		return nil, nil, err
-	}
-	defer prp.Free(d.mem)
+	prp := d.staging().WithPayload(MaxValueSize)
 	var cmd nvme.Command
 	cmd.SetOpcode(nvme.OpKVNext)
 	cmd.SetCommandID(d.allocID())
@@ -607,21 +657,20 @@ func (d *Driver) Next() (key, value []byte, err error) {
 	if err := comp.Status.Err(); err != nil {
 		return nil, nil, err
 	}
-	data, err := prp.Gather(d.mem)
+	n := int(comp.Result)
+	if n < 1 || n > MaxValueSize {
+		return nil, nil, fmt.Errorf("driver: bad NEXT payload size %d", n)
+	}
+	data, err := prp.WithPayload(n).GatherInto(d.mem, d.readBuf[:0])
 	if err != nil {
 		return nil, nil, err
 	}
-	n := int(comp.Result)
-	if n < 1 || n > len(data) {
-		return nil, nil, fmt.Errorf("driver: bad NEXT payload size %d", n)
-	}
+	d.readBuf = data[:0]
 	kl := int(data[0])
 	if 1+kl > n {
 		return nil, nil, fmt.Errorf("driver: corrupt NEXT payload")
 	}
-	key = append([]byte(nil), data[1:1+kl]...)
-	value = append([]byte(nil), data[1+kl:n]...)
-	return key, value, nil
+	return data[1 : 1+kl], data[1+kl : n], nil
 }
 
 // Flush forces buffered state to NAND.
@@ -640,11 +689,7 @@ func (d *Driver) Flush() error {
 // geometry, and the BandSlim capability fields (inline transfer capacities,
 // active packing policy).
 func (d *Driver) Identify() (device.IdentifyData, error) {
-	prp, err := nvme.BuildPRP(d.mem, make([]byte, 4096))
-	if err != nil {
-		return device.IdentifyData{}, err
-	}
-	defer prp.Free(d.mem)
+	prp := d.staging().WithPayload(4096)
 	var cmd nvme.Command
 	cmd.SetOpcode(nvme.OpAdminIdentify)
 	cmd.SetCommandID(d.allocID())
@@ -656,10 +701,11 @@ func (d *Driver) Identify() (device.IdentifyData, error) {
 	if err := comp.Status.Err(); err != nil {
 		return device.IdentifyData{}, err
 	}
-	data, err := prp.Gather(d.mem)
+	data, err := prp.GatherInto(d.mem, d.readBuf[:0])
 	if err != nil {
 		return device.IdentifyData{}, err
 	}
+	d.readBuf = data[:0]
 	return device.ParseIdentify(data), nil
 }
 

@@ -18,9 +18,14 @@ type Iterator struct {
 	tree    *Tree
 	sources []*iterSource
 	current Entry
-	valid   bool
-	end     sim.Time
-	err     error
+	// keyBuf backs current.Key for table-sourced entries: source entries are
+	// views into per-source decode arenas, which advancing a source past a
+	// page boundary overwrites, so the winning key is copied out before the
+	// sources consume past it.
+	keyBuf []byte
+	valid  bool
+	end    sim.Time
+	err    error
 }
 
 // iterSource walks one table or the memtable. prio: lower = newer.
@@ -30,6 +35,7 @@ type iterSource struct {
 	table   *SSTable
 	pageIdx int
 	entries []Entry
+	arena   []byte // backs entries' keys (see decodePageInto)
 	pos     int
 	done    bool
 	cur     Entry
@@ -111,7 +117,7 @@ func (s *iterSource) advance(it *Iterator, t sim.Time) error {
 			it.end = end
 		}
 		s.pageIdx++
-		s.entries, err = decodePage(data)
+		s.entries, s.arena, err = decodePageInto(s.entries, s.arena, data)
 		if err != nil {
 			return err
 		}
@@ -154,6 +160,11 @@ func (it *Iterator) step(t sim.Time, floor []byte) {
 			return
 		}
 		e := it.sources[best].cur
+		// Copy the winning key out of its source's decode arena: consuming
+		// the key below can advance that source past a page boundary, which
+		// overwrites the arena backing e.Key.
+		it.keyBuf = append(it.keyBuf[:0], e.Key...)
+		e.Key = it.keyBuf
 		// Consume this key from every source holding it.
 		for _, s := range it.sources {
 			for s.hasCur && bytes.Equal(s.cur.Key, e.Key) {
@@ -177,7 +188,9 @@ func (it *Iterator) step(t sim.Time, floor []byte) {
 // Valid reports whether the iterator is positioned on an entry.
 func (it *Iterator) Valid() bool { return it.valid }
 
-// Entry returns the current entry. Only meaningful when Valid.
+// Entry returns the current entry. Only meaningful when Valid. The entry's
+// key is a view into the iterator's reused key buffer, valid until the next
+// Next call; callers that retain entries across advances must copy it.
 func (it *Iterator) Entry() Entry { return it.current }
 
 // Err reports a NAND or decode error that invalidated the iterator.

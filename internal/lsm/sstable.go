@@ -105,30 +105,38 @@ func encodeEntry(dst []byte, e Entry) int {
 	return i + 1
 }
 
-func decodeEntry(src []byte) (Entry, int, error) {
+// parseEntry validates one encoded entry and returns its fields without
+// materializing the key (the key occupies src[1 : 1+kl]).
+func parseEntry(src []byte) (kl int, addr vlog.Addr, size uint32, tomb bool, n int, err error) {
 	if len(src) < 1 {
-		return Entry{}, 0, fmt.Errorf("lsm: truncated entry header")
+		return 0, 0, 0, false, 0, fmt.Errorf("lsm: truncated entry header")
 	}
-	kl := int(src[0])
+	kl = int(src[0])
 	if kl == 0 {
-		return Entry{}, 0, errEndOfPage
+		return 0, 0, 0, false, 0, errEndOfPage
 	}
 	if kl > MaxKeySize || len(src) < entryFixed+kl {
-		return Entry{}, 0, fmt.Errorf("lsm: corrupt entry (keyLen %d, %d bytes left)", kl, len(src))
+		return 0, 0, 0, false, 0, fmt.Errorf("lsm: corrupt entry (keyLen %d, %d bytes left)", kl, len(src))
 	}
-	i := 1
-	key := append([]byte(nil), src[i:i+kl]...)
-	i += kl
+	i := 1 + kl
 	var a uint64
 	for b := 0; b < addrBytes; b++ {
 		a |= uint64(src[i]) << (8 * b)
 		i++
 	}
-	size := binary.LittleEndian.Uint32(src[i:])
+	size = binary.LittleEndian.Uint32(src[i:])
 	i += 4
-	fl := src[i]
-	i++
-	return Entry{Key: key, Addr: vlog.Addr(a), Size: size, Tombstone: fl&flagTombstone != 0}, i, nil
+	tomb = src[i]&flagTombstone != 0
+	return kl, vlog.Addr(a), size, tomb, i + 1, nil
+}
+
+func decodeEntry(src []byte) (Entry, int, error) {
+	kl, addr, size, tomb, n, err := parseEntry(src)
+	if err != nil {
+		return Entry{}, 0, err
+	}
+	key := append([]byte(nil), src[1:1+kl]...)
+	return Entry{Key: key, Addr: addr, Size: size, Tombstone: tomb}, n, nil
 }
 
 var errEndOfPage = fmt.Errorf("lsm: end of page")
@@ -185,7 +193,8 @@ func (t *SSTable) pageForKey(key []byte) int {
 	return best
 }
 
-// decodePage parses every entry in a page image.
+// decodePage parses every entry in a page image. Each entry's key is a fresh
+// allocation, so results may be retained freely (compaction and merge paths).
 func decodePage(data []byte) ([]Entry, error) {
 	var out []Entry
 	i := 0
@@ -201,6 +210,36 @@ func decodePage(data []byte) ([]Entry, error) {
 		i += n
 	}
 	return out, nil
+}
+
+// decodePageInto parses every entry in a page image into reused scratch: the
+// entry slice is truncated and refilled, and every key sub-slices the arena.
+// The arena is pre-sized to the page so appends never move it mid-decode.
+// Returned entries are views valid until the next call with the same scratch;
+// the read hot paths (point lookups, scans) use this to avoid a key
+// allocation per decoded entry.
+func decodePageInto(entries []Entry, arena, data []byte) ([]Entry, []byte, error) {
+	if cap(arena) < len(data) {
+		arena = make([]byte, 0, len(data))
+	}
+	arena = arena[:0]
+	entries = entries[:0]
+	i := 0
+	for i < len(data) {
+		kl, addr, size, tomb, n, err := parseEntry(data[i:])
+		if err == errEndOfPage {
+			break
+		}
+		if err != nil {
+			return entries, arena, err
+		}
+		start := len(arena)
+		arena = append(arena, data[i+1:i+1+kl]...)
+		key := arena[start : start+kl : start+kl]
+		entries = append(entries, Entry{Key: key, Addr: addr, Size: size, Tombstone: tomb})
+		i += n
+	}
+	return entries, arena, nil
 }
 
 // tableBuilder streams sorted entries into pages through a PageStore.

@@ -69,6 +69,12 @@ type Tree struct {
 	levels [][]*SSTable // levels[0]: newest first; deeper: sorted by smallest
 	nextID uint64
 	stats  Stats
+	// searchEntries/searchArena are the point-lookup decode scratch: Get
+	// returns as soon as a table hits, so entries never outlive one
+	// searchTable call. The returned Entry's key is a view valid until the
+	// next lookup.
+	searchEntries []Entry
+	searchArena   []byte
 }
 
 // NewTree builds an empty tree over the store.
@@ -227,7 +233,8 @@ func (tr *Tree) searchTable(t sim.Time, table *SSTable, key []byte) (Entry, bool
 		return Entry{}, false, t, err
 	}
 	tr.stats.PageReadsServed.Inc()
-	entries, err := decodePage(data)
+	entries, arena, err := decodePageInto(tr.searchEntries, tr.searchArena, data)
+	tr.searchEntries, tr.searchArena = entries, arena
 	if err != nil {
 		return Entry{}, false, t, err
 	}

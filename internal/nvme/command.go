@@ -212,20 +212,26 @@ func (c *Command) SetKey(key []byte) error {
 
 // Key reads the key back using the recorded key size.
 func (c *Command) Key() []byte {
+	return c.AppendKey(nil)
+}
+
+// AppendKey appends the command's key to dst and returns the extended slice —
+// the allocation-free reader the device's hot path uses with a reusable
+// scratch buffer (AppendKey(scratch[:0])).
+func (c *Command) AppendKey(dst []byte) []byte {
 	n := int(c.raw[offKeySize])
 	if n > MaxKeySize {
 		n = MaxKeySize
 	}
-	key := make([]byte, n)
 	low := n
 	if low > 8 {
 		low = 8
 	}
-	copy(key, c.raw[offKeyLow:offKeyLow+low])
+	dst = append(dst, c.raw[offKeyLow:offKeyLow+low]...)
 	if n > 8 {
-		copy(key[8:], c.raw[offKeyHigh:offKeyHigh+n-8])
+		dst = append(dst, c.raw[offKeyHigh:offKeyHigh+n-8]...)
 	}
-	return key
+	return dst
 }
 
 // KeySize reads the recorded key length.
@@ -284,21 +290,29 @@ func (c *Command) SetWritePiggyback(value []byte) int {
 
 // WritePiggyback extracts n inline bytes from a write command.
 func (c *Command) WritePiggyback(n int) []byte {
+	return c.AppendWritePiggyback(nil, n)
+}
+
+// AppendWritePiggyback appends n inline bytes from a write command to dst and
+// returns the extended slice; the device reassembles values directly into its
+// pending-write scratch buffer this way, with no intermediate slice.
+func (c *Command) AppendWritePiggyback(dst []byte, n int) []byte {
 	if n > PiggybackWriteCapacity {
 		n = PiggybackWriteCapacity
 	}
-	out := make([]byte, 0, n)
+	got := 0
 	for _, r := range writePiggybackRegions {
-		if len(out) >= n {
+		if got >= n {
 			break
 		}
-		take := n - len(out)
+		take := n - got
 		if take > r.n {
 			take = r.n
 		}
-		out = append(out, c.raw[r.off:r.off+take]...)
+		dst = append(dst, c.raw[r.off:r.off+take]...)
+		got += take
 	}
-	return out
+	return dst
 }
 
 // SetTransferPiggyback embeds up to PiggybackTransferCapacity bytes into a
@@ -309,12 +323,16 @@ func (c *Command) SetTransferPiggyback(fragment []byte) int {
 
 // TransferPiggyback extracts n inline bytes from a transfer command.
 func (c *Command) TransferPiggyback(n int) []byte {
+	return c.AppendTransferPiggyback(nil, n)
+}
+
+// AppendTransferPiggyback appends n inline bytes from a transfer command to
+// dst and returns the extended slice (the allocation-free variant).
+func (c *Command) AppendTransferPiggyback(dst []byte, n int) []byte {
 	if n > PiggybackTransferCapacity {
 		n = PiggybackTransferCapacity
 	}
-	out := make([]byte, n)
-	copy(out, c.raw[offKeyLow:offKeyLow+n])
-	return out
+	return append(dst, c.raw[offKeyLow:offKeyLow+n]...)
 }
 
 // TransferCommandsFor reports how many NVMe commands a pure piggybacking

@@ -94,6 +94,33 @@ func (l PRPList) TransferSize() int {
 	return len(l.Pages) * pcie.MemoryPageSize
 }
 
+// AllocStaging allocates a persistent staging region of n bytes (rounded up
+// to whole pages) and returns its PRP list. The pages are freshly allocated
+// in one run, so their addresses are consecutive — the property the device's
+// PRP reconstruction relies on. The driver allocates one such region per
+// stack at first use and reuses it for every operation, which is what makes
+// the per-op path free of host-memory churn; WithPayload derives the per-op
+// view.
+func AllocStaging(m *HostMemory, n int) PRPList {
+	var l PRPList
+	l.Payload = n
+	for off := 0; off < n; off += pcie.MemoryPageSize {
+		l.Pages = append(l.Pages, m.AllocPage())
+	}
+	return l
+}
+
+// WithPayload returns a view of the list describing the first n staged bytes:
+// the page run is shared, only the payload length differs. n beyond the
+// region's page capacity panics — that is a driver sizing bug.
+func (l PRPList) WithPayload(n int) PRPList {
+	if n > len(l.Pages)*pcie.MemoryPageSize {
+		panic(fmt.Sprintf("nvme: payload %d exceeds staging capacity %d", n, len(l.Pages)*pcie.MemoryPageSize))
+	}
+	pages := (n + pcie.MemoryPageSize - 1) / pcie.MemoryPageSize
+	return PRPList{Pages: l.Pages[:pages], Payload: n}
+}
+
 // Gather copies the payload out of host memory (device-side view after DMA).
 func (l PRPList) Gather(m *HostMemory) ([]byte, error) {
 	out := make([]byte, 0, l.Payload)
@@ -114,6 +141,29 @@ func (l PRPList) Gather(m *HostMemory) ([]byte, error) {
 		return nil, fmt.Errorf("nvme: PRP list short by %d bytes", remain)
 	}
 	return out, nil
+}
+
+// GatherInto appends the payload to dst and returns the extended slice — the
+// allocation-free Gather the driver's read path uses with its reusable
+// staging buffer (GatherInto(m, buf[:0])).
+func (l PRPList) GatherInto(m *HostMemory, dst []byte) ([]byte, error) {
+	remain := l.Payload
+	for _, addr := range l.Pages {
+		page, err := m.Page(addr)
+		if err != nil {
+			return nil, err
+		}
+		take := remain
+		if take > len(page) {
+			take = len(page)
+		}
+		dst = append(dst, page[:take]...)
+		remain -= take
+	}
+	if remain != 0 {
+		return nil, fmt.Errorf("nvme: PRP list short by %d bytes", remain)
+	}
+	return dst, nil
 }
 
 // Scatter copies data into the pages of the list (device-to-host direction,

@@ -27,6 +27,7 @@ import (
 	"bandslim/internal/dma"
 	"bandslim/internal/metrics"
 	"bandslim/internal/pcie"
+	"bandslim/internal/pool"
 	"bandslim/internal/sim"
 	"bandslim/internal/trace"
 )
@@ -133,6 +134,15 @@ type Buffer struct {
 	lastFlushEnd sim.Time
 	stats        Stats
 	tr           trace.Tracer
+	// pagePool recycles flushed page buffers back into page(); recycled pages
+	// are zeroed before reuse so gap bytes stay deterministic (identical to
+	// freshly allocated pages).
+	pagePool pool.Bytes
+	// zero is a shared all-zeros page served for in-window pages that were
+	// never written (OpenPage) and flushed without content. It is read-only by
+	// contract: OpenPage callers must not modify returned slices, and the
+	// flush path (FTL→NAND) copies what it stores.
+	zero []byte
 }
 
 // New returns a buffer. eng accounts memcpy costs; flush persists pages.
@@ -149,6 +159,7 @@ func New(cfg Config, eng *dma.Engine, flush FlushFunc) (*Buffer, error) {
 		flush: flush,
 		pages: make(map[int64][]byte),
 		dlt:   NewDLT(cfg.DLTCap),
+		zero:  make([]byte, cfg.PageSize),
 	}, nil
 }
 
@@ -177,11 +188,16 @@ func alignUp(addr int64) int64 {
 	return (addr + p - 1) / p * p
 }
 
-// page materializes (or returns) an open logical page.
+// page materializes (or returns) an open logical page. New pages come from
+// the recycle pool and are zeroed, so a reused page is indistinguishable from
+// a fresh allocation.
 func (b *Buffer) page(no int64) []byte {
 	p, ok := b.pages[no]
 	if !ok {
-		p = make([]byte, b.cfg.PageSize)
+		p = b.pagePool.Get(b.cfg.PageSize)
+		for i := range p {
+			p[i] = 0
+		}
 		b.pages[no] = p
 	}
 	return p
@@ -238,9 +254,10 @@ func (b *Buffer) OpenPage(no int64) ([]byte, bool) {
 	}
 	p, ok := b.pages[no]
 	if !ok {
-		// Within the open window but never written: logically zeros.
+		// Within the open window but never written: logically zeros. The
+		// shared zero page is served without allocating; callers only read.
 		if no <= b.pageOf(b.frontier) {
-			return make([]byte, b.cfg.PageSize), true
+			return b.zero, true
 		}
 		return nil, false
 	}
@@ -429,7 +446,10 @@ func (b *Buffer) flushOldest(t sim.Time) (sim.Time, error) {
 	no := b.minOpen
 	data, ok := b.pages[no]
 	if !ok {
-		data = make([]byte, b.cfg.PageSize)
+		// Never-written page: flush the shared zero page. The flush path
+		// copies what it stores (NAND programs duplicate the data), so the
+		// shared page is never retained or mutated downstream.
+		data = b.zero
 	}
 	handoff := t
 	if b.lastFlushEnd > handoff {
@@ -444,7 +464,10 @@ func (b *Buffer) flushOldest(t sim.Time) (sim.Time, error) {
 	if b.tr != nil {
 		b.tr.Emit(trace.Event{Cat: trace.CatPageBuf, Name: trace.EvFlush, Start: handoff, End: end, Bytes: int64(b.cfg.PageSize), Arg: no})
 	}
-	delete(b.pages, no)
+	if ok {
+		delete(b.pages, no)
+		b.pagePool.Put(data)
+	}
 	b.minOpen++
 	b.stats.Flushes.Inc()
 	return handoff, nil

@@ -21,11 +21,19 @@ type MergeIterator struct {
 	err  error
 }
 
-// source holds one shard's current pair.
+// source holds one shard's current pair, copied out of the shard driver's
+// read-buffer views into source-owned reused buffers (the heap retains pairs
+// across other shards' operations).
 type source struct {
 	sh    *Shard
 	key   []byte
 	value []byte
+}
+
+// set copies a pair into the source's reused buffers.
+func (s *source) set(k, v []byte) {
+	s.key = append(s.key[:0], k...)
+	s.value = append(s.value[:0], v...)
 }
 
 type sourceHeap []*source
@@ -63,7 +71,9 @@ func NewMergeIterator(shards []*Shard, start []byte) (*MergeIterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.srcs = append(m.srcs, &source{sh: sh, key: k, value: v})
+		src := &source{sh: sh}
+		src.set(k, v)
+		m.srcs = append(m.srcs, src)
 	}
 	heap.Init(&m.srcs)
 	return m, nil
@@ -106,6 +116,6 @@ func (m *MergeIterator) Next() {
 		m.err = err
 		return
 	}
-	top.key, top.value = k, v
+	top.set(k, v)
 	heap.Fix(&m.srcs, 0)
 }

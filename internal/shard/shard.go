@@ -13,6 +13,10 @@
 // key partition, every shard sees the same command sequence regardless of
 // host scheduling, because all device access happens on the shard's worker
 // goroutine in submission order.
+//
+// Operations cross to the worker through one reusable typed call frame per
+// shard (guarded by a submit mutex) rather than per-op closures, so the
+// steady-state request path allocates nothing.
 package shard
 
 import (
@@ -71,6 +75,56 @@ func NewStack(o Options) (*Stack, error) {
 	return &Stack{Clock: clock, Link: link, Mem: mem, Dev: dev, Drv: drv}, nil
 }
 
+// DefaultBatchOps is the record cap of the per-shard batcher behind PutBatch.
+const DefaultBatchOps = 128
+
+// opKind discriminates the typed call frame.
+type opKind int
+
+const (
+	opFn opKind = iota
+	opPut
+	opGet
+	opGetInto
+	opDelete
+	opFlush
+	opSeek
+	opNext
+	opPutBatch
+	opGetBatch
+	opGetTime
+)
+
+// call is the reusable request frame a shard's submitters fill in and its
+// worker executes. One frame per shard suffices: ops serialize on the worker
+// anyway, and the submit mutex serializes the fill-in.
+type call struct {
+	kind opKind
+	fn   func()
+
+	key, value []byte   // scalar inputs; value doubles as the GetInto dst
+	keys, vals [][]byte // batch inputs; vals holds GetBatch dst lanes
+	lane       []int    // batch indices this shard owns (nil = all)
+
+	rkey, rvalue []byte // scalar outputs (views or grown dst)
+	n            int    // batch record count
+	t            sim.Time
+	err          error
+
+	done chan struct{} // buffered (cap 1); signaled by the worker per call
+}
+
+// reset drops input/output references so the frame does not retain caller
+// memory between ops.
+func (c *call) reset() {
+	c.fn = nil
+	c.key, c.value = nil, nil
+	c.keys, c.vals, c.lane = nil, nil, nil
+	c.rkey, c.rvalue = nil, nil
+	c.err = nil
+	c.n = 0
+}
+
 // Shard is one stack plus the worker goroutine that owns it. All simulation
 // state is touched only from the worker, so shards need no internal locking
 // and different shards run truly in parallel.
@@ -78,9 +132,18 @@ type Shard struct {
 	id      int
 	stack   *Stack
 	afterOp func()
-	reqs    chan func()
+	reqs    chan *call
 	done    chan struct{}
 	stop    sync.Once
+
+	// mu serializes submitters onto the single call frame; it is held from
+	// fill-in until the worker's completion signal has been consumed (for
+	// async batch fan-out, Pending.Wait releases it).
+	mu   sync.Mutex
+	call call
+	// batch is the worker-owned batcher behind PutBatch, created lazily on
+	// the worker goroutine.
+	batch *driver.Batcher
 }
 
 // New builds a shard and starts its worker. Callers must Close it to stop
@@ -90,16 +153,129 @@ func New(id int, o Options) (*Shard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard %d: %w", id, err)
 	}
-	s := &Shard{id: id, stack: st, reqs: make(chan func()), done: make(chan struct{})}
+	s := &Shard{id: id, stack: st, reqs: make(chan *call), done: make(chan struct{})}
+	s.call.done = make(chan struct{}, 1)
 	go s.loop()
 	return s, nil
 }
 
 func (s *Shard) loop() {
-	for fn := range s.reqs {
-		fn()
+	for c := range s.reqs {
+		s.run(c)
+		c.done <- struct{}{}
 	}
 	close(s.done)
+}
+
+// run executes one call frame on the worker goroutine.
+func (s *Shard) run(c *call) {
+	drv := s.stack.Drv
+	switch c.kind {
+	case opFn:
+		c.fn()
+		return
+	case opPut:
+		c.err = drv.Put(c.key, c.value)
+	case opGet:
+		c.rvalue, c.err = drv.Get(c.key)
+	case opGetInto:
+		// Copy the driver's view into the caller-owned dst here on the
+		// worker, before completion is signaled — race-free under
+		// concurrent shard use.
+		var v []byte
+		v, c.err = drv.Get(c.key)
+		if c.err == nil {
+			c.rvalue = append(c.value[:0], v...)
+		}
+	case opDelete:
+		c.err = drv.Delete(c.key)
+	case opFlush:
+		c.err = drv.Flush()
+	case opSeek:
+		c.err = drv.Seek(c.key)
+	case opNext:
+		c.rkey, c.rvalue, c.err = drv.Next()
+	case opPutBatch:
+		// Batch runners fire the after-op hook themselves (per batch / per
+		// record).
+		c.n, c.err = s.runPutBatch(c.keys, c.vals, c.lane)
+		return
+	case opGetBatch:
+		c.n, c.err = s.runGetBatch(c.keys, c.vals, c.lane)
+		return
+	case opGetTime:
+		c.t = s.stack.Clock.Now()
+		return
+	}
+	s.opDone()
+}
+
+// runPutBatch feeds this shard's lane of records through the worker-owned
+// batcher and flushes, so every record is durable on return.
+func (s *Shard) runPutBatch(keys, values [][]byte, lane []int) (int, error) {
+	if s.batch == nil {
+		b, err := s.stack.Drv.NewBatcher(DefaultBatchOps)
+		if err != nil {
+			return 0, err
+		}
+		s.batch = b
+	}
+	n := 0
+	put := func(i int) error {
+		if err := s.batch.Put(keys[i], values[i]); err != nil {
+			return err
+		}
+		n++
+		return nil
+	}
+	if lane == nil {
+		for i := range keys {
+			if err := put(i); err != nil {
+				return n, err
+			}
+		}
+	} else {
+		for _, i := range lane {
+			if err := put(i); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := s.batch.Flush(); err != nil {
+		return n, err
+	}
+	s.opDone()
+	return n, nil
+}
+
+// runGetBatch resolves this shard's lane of keys, copying each value into the
+// caller's dst lane (vals[i], grown as needed) on the worker goroutine.
+func (s *Shard) runGetBatch(keys, vals [][]byte, lane []int) (int, error) {
+	n := 0
+	get := func(i int) error {
+		v, err := s.stack.Drv.Get(keys[i])
+		if err != nil {
+			return err
+		}
+		vals[i] = append(vals[i][:0], v...)
+		n++
+		s.opDone()
+		return nil
+	}
+	if lane == nil {
+		for i := range keys {
+			if err := get(i); err != nil {
+				return n, err
+			}
+		}
+	} else {
+		for _, i := range lane {
+			if err := get(i); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
 }
 
 // ID reports the shard's index.
@@ -122,16 +298,28 @@ func (s *Shard) opDone() {
 	}
 }
 
+// finish hands the filled-in frame to the worker and waits. Callers must
+// hold s.mu and have set every input field; finish consumes the completion,
+// resets the frame's references, and releases the mutex.
+func (s *Shard) finish() (rkey, rvalue []byte, n int, err error) {
+	c := &s.call
+	s.reqs <- c
+	<-c.done
+	rkey, rvalue, n, err = c.rkey, c.rvalue, c.n, c.err
+	c.reset()
+	s.mu.Unlock()
+	return rkey, rvalue, n, err
+}
+
 // Do runs fn on the shard's worker goroutine and waits for it to finish.
 // Calling Do on a closed shard panics; front-ends gate on their own closed
 // state first.
 func (s *Shard) Do(fn func()) {
-	ran := make(chan struct{})
-	s.reqs <- func() {
-		fn()
-		close(ran)
-	}
-	<-ran
+	s.mu.Lock()
+	c := &s.call
+	c.kind = opFn
+	c.fn = fn
+	s.finish()
 }
 
 // Close stops the worker goroutine and waits for it to exit. Idempotent.
@@ -142,52 +330,138 @@ func (s *Shard) Close() {
 
 // Put stores a key-value pair on this shard.
 func (s *Shard) Put(key, value []byte) error {
-	var err error
-	s.Do(func() { err = s.stack.Drv.Put(key, value); s.opDone() })
+	s.mu.Lock()
+	c := &s.call
+	c.kind = opPut
+	c.key, c.value = key, value
+	_, _, _, err := s.finish()
 	return err
 }
 
-// Get fetches the value for key from this shard.
+// Get fetches the value for key from this shard. The returned slice is a
+// view into the shard driver's read buffer, valid until the shard's next
+// operation; callers that retain it — or share the shard across goroutines —
+// must use GetInto instead.
 func (s *Shard) Get(key []byte) ([]byte, error) {
-	var (
-		v   []byte
-		err error
-	)
-	s.Do(func() { v, err = s.stack.Drv.Get(key); s.opDone() })
+	s.mu.Lock()
+	c := &s.call
+	c.kind = opGet
+	c.key = key
+	_, v, _, err := s.finish()
+	return v, err
+}
+
+// GetInto fetches the value for key, copying it into dst (grown as needed)
+// before the op completes. The returned slice is caller-owned and safe under
+// concurrent shard use.
+func (s *Shard) GetInto(key, dst []byte) ([]byte, error) {
+	s.mu.Lock()
+	c := &s.call
+	c.kind = opGetInto
+	c.key, c.value = key, dst
+	_, v, _, err := s.finish()
 	return v, err
 }
 
 // Delete removes a key from this shard.
 func (s *Shard) Delete(key []byte) error {
-	var err error
-	s.Do(func() { err = s.stack.Drv.Delete(key); s.opDone() })
+	s.mu.Lock()
+	c := &s.call
+	c.kind = opDelete
+	c.key = key
+	_, _, _, err := s.finish()
 	return err
 }
 
 // Flush forces this shard's buffered values and index entries to NAND.
 func (s *Shard) Flush() error {
-	var err error
-	s.Do(func() { err = s.stack.Drv.Flush(); s.opDone() })
+	s.mu.Lock()
+	s.call.kind = opFlush
+	_, _, _, err := s.finish()
 	return err
 }
 
 // Seek positions this shard's device-side iterator at the first key >= start.
 func (s *Shard) Seek(start []byte) error {
-	var err error
-	s.Do(func() { err = s.stack.Drv.Seek(start); s.opDone() })
+	s.mu.Lock()
+	c := &s.call
+	c.kind = opSeek
+	c.key = start
+	_, _, _, err := s.finish()
 	return err
 }
 
 // Next returns the shard iterator's current pair and advances it;
-// driver.ErrIterDone signals exhaustion.
+// driver.ErrIterDone signals exhaustion. Like Get, the returned slices are
+// views valid until the shard's next operation.
 func (s *Shard) Next() (key, value []byte, err error) {
-	s.Do(func() { key, value, err = s.stack.Drv.Next(); s.opDone() })
+	s.mu.Lock()
+	s.call.kind = opNext
+	key, value, _, err = s.finish()
 	return key, value, err
+}
+
+// PutBatch writes the lane-indexed subset of keys/values (nil lane = all)
+// through the shard's batcher as bulk OpKVBatchWrite commands and flushes, so
+// every accepted record is durable on return. It reports how many records
+// were written.
+func (s *Shard) PutBatch(keys, values [][]byte, lane []int) (int, error) {
+	return s.StartPutBatch(keys, values, lane).Wait()
+}
+
+// GetBatch resolves the lane-indexed subset of keys (nil lane = all), copying
+// each value into the matching vals lane (vals[i], grown as needed). It
+// reports how many lanes were filled; on error, lanes beyond the failing key
+// are left untouched.
+func (s *Shard) GetBatch(keys, vals [][]byte, lane []int) (int, error) {
+	return s.StartGetBatch(keys, vals, lane).Wait()
+}
+
+// Pending is an in-flight batch handed to the shard worker; exactly one Wait
+// call must follow each Start.
+type Pending struct{ s *Shard }
+
+// StartPutBatch enqueues a PutBatch without waiting, so a front-end can fan
+// one logical batch out across shards and overlap their simulated work.
+func (s *Shard) StartPutBatch(keys, values [][]byte, lane []int) Pending {
+	s.mu.Lock()
+	c := &s.call
+	c.kind = opPutBatch
+	c.keys, c.vals, c.lane = keys, values, lane
+	s.reqs <- c
+	return Pending{s: s}
+}
+
+// StartGetBatch enqueues a GetBatch without waiting; see StartPutBatch.
+func (s *Shard) StartGetBatch(keys, vals [][]byte, lane []int) Pending {
+	s.mu.Lock()
+	c := &s.call
+	c.kind = opGetBatch
+	c.keys, c.vals, c.lane = keys, vals, lane
+	s.reqs <- c
+	return Pending{s: s}
+}
+
+// Wait blocks until the batch completes and releases the shard for the next
+// submitter.
+func (p Pending) Wait() (int, error) {
+	c := &p.s.call
+	<-c.done
+	n, err := c.n, c.err
+	c.reset()
+	p.s.mu.Unlock()
+	return n, err
 }
 
 // Now reports the shard's simulated time.
 func (s *Shard) Now() sim.Time {
-	var t sim.Time
-	s.Do(func() { t = s.stack.Clock.Now() })
+	s.mu.Lock()
+	c := &s.call
+	c.kind = opGetTime
+	s.reqs <- c
+	<-c.done
+	t := c.t
+	c.reset()
+	s.mu.Unlock()
 	return t
 }

@@ -91,16 +91,22 @@ func TestShardDoSerializes(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			// Get returns a view into the shard worker's read buffer, only
+			// valid until the next op; concurrent readers need the copying
+			// GetInto with goroutine-owned scratch.
+			var dst []byte
 			for i := 0; i < 20; i++ {
 				key := []byte(fmt.Sprintf("g%d-%d", g, i))
 				if err := s.Put(key, []byte{byte(g)}); err != nil {
 					t.Error(err)
 					return
 				}
-				if v, err := s.Get(key); err != nil || v[0] != byte(g) {
-					t.Errorf("Get(%s) = %v, %v", key, v, err)
+				v, err := s.GetInto(key, dst)
+				if err != nil || len(v) != 1 || v[0] != byte(g) {
+					t.Errorf("GetInto(%s) = %v, %v", key, v, err)
 					return
 				}
+				dst = v
 			}
 		}(g)
 	}

@@ -65,6 +65,13 @@ type ShardedDB struct {
 	recs     []*trace.Recorder     // per-shard recorders (TraceCapacity > 0)
 	samplers []*timeseries.Sampler // per-shard samplers (MetricsInterval > 0)
 	closed   bool
+
+	// batchMu guards the reusable lane-partition scratch below; holding it
+	// across a whole batch keeps the lane index slices stable while shard
+	// workers read them.
+	batchMu sync.Mutex
+	lanes   [][]int
+	pending []shard.Pending
 }
 
 // OpenSharded builds Shards independent stacks and starts their workers.
@@ -176,7 +183,10 @@ func (s *ShardedDB) Put(key, value []byte) error {
 	return s.shardFor(key).Put(key, value)
 }
 
-// Get fetches the value for key from its shard.
+// Get fetches the value for key from its shard. The returned slice is a view
+// into that shard's driver read buffer, valid until the shard's next
+// operation; callers that retain the value — or race it against concurrent
+// operations on the same shard — must use GetInto instead.
 func (s *ShardedDB) Get(key []byte) ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -184,6 +194,109 @@ func (s *ShardedDB) Get(key []byte) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	return s.shardFor(key).Get(key)
+}
+
+// GetInto fetches the value for key, copying it into dst (grown as needed)
+// on the shard worker before the operation completes. The returned slice is
+// caller-owned: it stays valid across later operations and under concurrent
+// use, and reusing dst across calls makes the steady state allocation-free.
+func (s *ShardedDB) GetInto(key, dst []byte) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.shardFor(key).GetInto(key, dst)
+}
+
+// partitionLanes splits the key set into per-shard index lanes using the
+// reusable scratch; callers hold batchMu.
+func (s *ShardedDB) partitionLanes(keys [][]byte) {
+	if len(s.lanes) != len(s.shards) {
+		s.lanes = make([][]int, len(s.shards))
+		s.pending = make([]shard.Pending, 0, len(s.shards))
+	}
+	for i := range s.lanes {
+		s.lanes[i] = s.lanes[i][:0]
+	}
+	for i, k := range keys {
+		sh := s.part.Shard(k)
+		s.lanes[sh] = append(s.lanes[sh], i)
+	}
+}
+
+// PutBatch stores the key-value pairs through each shard's host-side batcher
+// (bulk OpKVBatchWrite commands), fanning the per-shard lanes out in parallel
+// and flushing before returning, so every record is durable on return. Keys
+// are 1–16 bytes. The first error wins; records on other shards may still
+// have been written.
+func (s *ShardedDB) PutBatch(keys, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("bandslim: PutBatch got %d keys and %d values", len(keys), len(values))
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	s.partitionLanes(keys)
+	// Start every involved shard first so their simulated work overlaps, then
+	// collect in shard order. Shard mutexes are taken in ascending order here
+	// and held until the matching Wait, which is deadlock-free because every
+	// batch acquires them in the same order.
+	s.pending = s.pending[:0]
+	for i, lane := range s.lanes {
+		if len(lane) == 0 {
+			continue
+		}
+		s.pending = append(s.pending, s.shards[i].StartPutBatch(keys, values, lane))
+	}
+	var first error
+	for _, p := range s.pending {
+		if _, err := p.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// GetBatch resolves keys in bulk, fanning the per-shard lanes out in
+// parallel. Each value is copied into the matching vals lane (vals[i], grown
+// as needed) on its shard worker, so the results are caller-owned; passing
+// the returned slice back in makes the steady state allocation-free. A nil
+// vals allocates one. On error, lanes after the failing key on that shard
+// are left untouched.
+func (s *ShardedDB) GetBatch(keys, vals [][]byte) ([][]byte, error) {
+	if vals == nil {
+		vals = make([][]byte, len(keys))
+	}
+	if len(vals) != len(keys) {
+		return vals, fmt.Errorf("bandslim: GetBatch got %d keys and %d dst lanes", len(keys), len(vals))
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return vals, ErrClosed
+	}
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	s.partitionLanes(keys)
+	s.pending = s.pending[:0]
+	for i, lane := range s.lanes {
+		if len(lane) == 0 {
+			continue
+		}
+		s.pending = append(s.pending, s.shards[i].StartGetBatch(keys, vals, lane))
+	}
+	var first error
+	for _, p := range s.pending {
+		if _, err := p.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return vals, first
 }
 
 // Delete removes a key from its shard.
@@ -512,6 +625,9 @@ func (it *ShardedIterator) Next() {
 type coreKV interface {
 	Put(key, value []byte) error
 	Get(key []byte) ([]byte, error)
+	GetInto(key, dst []byte) ([]byte, error)
+	PutBatch(keys, values [][]byte) error
+	GetBatch(keys, vals [][]byte) ([][]byte, error)
 	Delete(key []byte) error
 	Flush() error
 	Close() error

@@ -293,16 +293,21 @@ func TestShardedConcurrentAccess(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			// Goroutines share shards, so values are read through GetInto
+			// with a goroutine-owned dst (Get returns per-shard views).
+			var dst []byte
 			for i := 0; i < 50; i++ {
 				key := []byte(fmt.Sprintf("cc%d-%03d", g, i))
 				if err := s.Put(key, bytes.Repeat([]byte{byte(g)}, 64)); err != nil {
 					t.Error(err)
 					return
 				}
-				if v, err := s.Get(key); err != nil || len(v) != 64 {
-					t.Errorf("Get(%s) = %d bytes, %v", key, len(v), err)
+				v, err := s.GetInto(key, dst)
+				if err != nil || len(v) != 64 || v[0] != byte(g) {
+					t.Errorf("GetInto(%s) = %d bytes, %v", key, len(v), err)
 					return
 				}
+				dst = v
 				if i%10 == 0 {
 					if err := s.Delete(key); err != nil {
 						t.Error(err)
