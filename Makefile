@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-shards bench-smoke smoke golden ci
+.PHONY: all build test race vet fmt bench bench-shards bench-smoke smoke golden modelcheck fuzz-smoke ci
 
 all: build
 
@@ -51,4 +51,16 @@ golden:
 	$(GO) run ./cmd/bandslim-bench $(SMOKE_FLAGS) -metrics-out results/golden/bench_smoke.prom -series-out .smoke.csv
 	rm -f .smoke.csv
 
-ci: build vet test race smoke bench-smoke
+# Model-based differential harness + crash-consistency sweep: 1000+ seeded
+# op sequences against an in-memory reference model, with and without fault
+# plans, plus a power cut at every command boundary of a fixed workload.
+modelcheck:
+	$(GO) test -run 'TestModelCheck|TestCrashSweep|TestFaultRaceSharded' -count=1 -timeout 600s .
+
+# Short fixed-budget fuzz pass over the fault-plan parser and the journal
+# decoder/replayer, seeded from the committed testdata corpora.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzParsePlan -fuzztime=5s ./internal/fault
+	$(GO) test -run=NONE -fuzz=FuzzJournalReplay -fuzztime=5s ./internal/device
+
+ci: build vet test race smoke bench-smoke modelcheck fuzz-smoke

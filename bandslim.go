@@ -129,6 +129,16 @@ type Config struct {
 	// export it with WriteSeriesCSV; WritePrometheus works with or without
 	// the sampler. Zero (the default) disables sampling entirely.
 	MetricsInterval sim.Duration
+	// Faults, when non-nil, arms the deterministic fault injector: the plan's
+	// rules fire NAND media errors, transient transfer errors, and power cuts
+	// at seed-determined points (see ParseFaultPlan). Nil — the default —
+	// leaves every fault path disabled at zero cost, and the simulation's
+	// outputs are byte-identical to a build without the subsystem.
+	Faults *FaultPlan
+	// Retry tunes the driver's response to transient (retryable) completions.
+	// The zero value means DefaultRetryPolicy; a negative MaxRetries disables
+	// retries entirely.
+	Retry RetryPolicy
 }
 
 // DefaultConfig returns the paper's headline configuration: adaptive
@@ -175,6 +185,8 @@ func stackOptions(cfg Config) shard.Options {
 		Thresholds: thr,
 		Pipelined:  cfg.Pipelined,
 		Tracer:     cfg.Tracer,
+		Faults:     cfg.Faults,
+		Retry:      cfg.Retry,
 	}
 }
 
@@ -186,8 +198,9 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db := &DB{cfg: cfg, st: st}
 	if cfg.MetricsInterval > 0 {
-		db.sampler = timeseries.NewSampler(cfg.MetricsInterval, seriesDescs,
-			func() timeseries.Snapshot { return snapshotStack(st) })
+		faults := cfg.Faults != nil
+		db.sampler = timeseries.NewSampler(cfg.MetricsInterval, descsFor(faults),
+			func() timeseries.Snapshot { return snapshotStack(st, faults) })
 	}
 	return db, nil
 }

@@ -6,6 +6,7 @@
 //
 //	bandslim-cli [-method adaptive] [-policy backfill]
 //	             [-metrics-interval-us 100] [-metrics-out out.prom] [-series-out out.csv]
+//	bandslim-cli faults [-salt N] [-max-occ N] <plan-file|->   dump a resolved fault schedule
 //
 // Commands:
 //
@@ -39,6 +40,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "faults" {
+		runFaults(os.Args[2:])
+		return
+	}
 	var (
 		methodName = flag.String("method", "adaptive", "transfer method: baseline|piggyback|hybrid|adaptive")
 		policyName = flag.String("policy", "backfill", "packing policy: block|all|select|backfill")

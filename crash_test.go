@@ -1,0 +1,163 @@
+package bandslim_test
+
+// Crash-consistency sweep: run one fixed deterministic workload and cut
+// power at every command boundary — and at interior DMA and NAND-program
+// points — then recover and verify that every write acknowledged before the
+// cut is present with its exact value. Each cut point runs twice to prove
+// the whole crash+recovery path is deterministic.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bandslim"
+	"bandslim/internal/sim"
+)
+
+// crashWorkload drives a fixed op sequence, recording acknowledged state in
+// acked (nil value = acked delete). It stops permanently once power is cut:
+// the driver reports StatusPowerLoss and the harness moves to verification.
+func crashWorkload(t *testing.T, db *bandslim.DB) (acked map[string][]byte, cut bool) {
+	t.Helper()
+	acked = map[string][]byte{}
+	rng := sim.NewRNG(0xC0FFEE)
+	step := func(key string, value []byte, err error) bool {
+		if err == nil {
+			acked[key] = value
+			return false
+		}
+		if bandslim.IsPowerLoss(err) {
+			return true
+		}
+		t.Fatalf("workload: unexpected error: %v", err)
+		return true
+	}
+	for op := 0; op < 30; op++ {
+		key := fmt.Sprintf("c%02d", op%12)
+		switch {
+		case op%7 == 5: // delete an earlier key
+			if step(key, nil, db.Delete([]byte(key))) {
+				return acked, true
+			}
+		case op%11 == 10: // flush
+			if err := db.Flush(); err != nil {
+				if bandslim.IsPowerLoss(err) {
+					return acked, true
+				}
+				t.Fatalf("flush: %v", err)
+			}
+		default:
+			value := mcValue(rng)
+			if step(key, value, db.Put([]byte(key), value)) {
+				return acked, true
+			}
+		}
+	}
+	return acked, false
+}
+
+// crashVerify recovers (if power was cut) and checks every acknowledged
+// write. It returns a deterministic dump of the final state for the two-run
+// comparison.
+func crashVerify(t *testing.T, db *bandslim.DB, acked map[string][]byte, cut bool) []byte {
+	t.Helper()
+	if cut {
+		if err := db.Recover(); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+	}
+	var dump bytes.Buffer
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("c%02d", i)
+		// A cut point past the workload's command count fires during these
+		// verification reads instead; recover and retry.
+		var got []byte
+		for attempt := 0; ; attempt++ {
+			var err error
+			got, err = db.GetInto([]byte(key), nil)
+			if err == nil {
+				break
+			}
+			if bandslim.IsNotFound(err) {
+				got = nil
+				break
+			}
+			if bandslim.IsPowerLoss(err) && attempt < 4 {
+				if err := db.Recover(); err != nil {
+					t.Fatalf("verify %s: recover: %v", key, err)
+				}
+				continue
+			}
+			t.Fatalf("verify %s: %v", key, err)
+		}
+		if want, ok := acked[key]; ok {
+			if want == nil {
+				// Acked delete: a later unacked put may have been journaled,
+				// so presence is legal — but it must not be a torn value;
+				// nothing to compare against, so just record it in the dump.
+			} else if got == nil {
+				t.Fatalf("acked write %s lost after recovery", key)
+			} else if !bytes.Equal(got, want) {
+				t.Fatalf("key %s: got %d bytes, want %d", key, len(got), len(want))
+			}
+		}
+		fmt.Fprintf(&dump, "%s=%d\n", key, len(got))
+	}
+	st := db.Stats()
+	fmt.Fprintf(&dump, "cuts=%d mounts=%d replayed=%d programs=%d\n",
+		st.Faults.PowerCuts, st.Faults.Mounts, st.Faults.ReplayedRecords,
+		st.Device.NANDPageWrites)
+	return dump.Bytes()
+}
+
+// runCrashPoint executes the workload with one power cut injected at the
+// given site/occurrence, verifies, and returns the state dump.
+func runCrashPoint(t *testing.T, site bandslim.FaultSite, nth int) []byte {
+	t.Helper()
+	plan := &bandslim.FaultPlan{
+		Seed:  1,
+		Rules: []bandslim.FaultRule{{Site: site, Effect: bandslim.FaultPowerCut, Nth: nth}},
+	}
+	db, err := bandslim.Open(tinyFaultConfig(plan))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	acked, cut := crashWorkload(t, db)
+	return crashVerify(t, db, acked, cut)
+}
+
+// TestCrashSweep cuts power at every command boundary (exec occurrences 1
+// through 60 cover the whole 30-op workload including its transfer
+// fragments) and at interior DMA-transfer and NAND-program points, then
+// proves recovery at each point and determinism across a second identical
+// run.
+func TestCrashSweep(t *testing.T) {
+	type point struct {
+		site bandslim.FaultSite
+		nth  int
+	}
+	var points []point
+	for k := 1; k <= 60; k++ {
+		points = append(points, point{bandslim.FaultExec, k})
+	}
+	for k := 1; k <= 12; k++ {
+		points = append(points, point{bandslim.FaultDMAIn, k})
+		points = append(points, point{bandslim.FaultNandProgram, k})
+	}
+	for _, p := range points {
+		name := fmt.Sprintf("%v/nth=%d", p.site, p.nth)
+		first := runCrashPoint(t, p.site, p.nth)
+		second := runCrashPoint(t, p.site, p.nth)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("%s: non-deterministic recovery:\nrun1:\n%srun2:\n%s", name, first, second)
+		}
+	}
+	// The uncut baseline must also be reproducible.
+	base1 := runCrashPoint(t, bandslim.FaultExec, 100000)
+	base2 := runCrashPoint(t, bandslim.FaultExec, 100000)
+	if !bytes.Equal(base1, base2) {
+		t.Fatalf("baseline non-deterministic:\nrun1:\n%srun2:\n%s", base1, base2)
+	}
+}

@@ -6,9 +6,11 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 
 	"bandslim/internal/dma"
+	"bandslim/internal/fault"
 	"bandslim/internal/ftl"
 	"bandslim/internal/lsm"
 	"bandslim/internal/metrics"
@@ -71,6 +73,9 @@ type Stats struct {
 	BatchedRecords    metrics.Counter // records unpacked from bulk PUTs
 	GCRelocated       metrics.Counter // values moved by vLog garbage collection
 	BadCommands       metrics.Counter
+	PowerCuts         metrics.Counter // power-cut faults taken
+	Mounts            metrics.Counter // recovery mounts performed
+	ReplayedRecords   metrics.Counter // journal records replayed at mount
 }
 
 // pendingWrite reassembles a value spanning multiple commands (§3.3.1: the
@@ -102,6 +107,12 @@ type Device struct {
 	iter    *lsm.Iterator
 	stats   Stats
 	tr      trace.Tracer
+	inj     *fault.Injector
+	// dead latches after a power cut: every command completes with
+	// StatusPowerLoss until Mount. jnl is the battery-backed index journal
+	// replayed at mount (see journal.go).
+	dead bool
+	jnl  journal
 
 	// Scratch reused across commands. The controller executes commands one at
 	// a time (single-owner firmware), and §3.3.1's contract of one open write
@@ -147,7 +158,7 @@ func New(cfg Config, clock *sim.Clock, link *pcie.Link, hostMem *nvme.HostMemory
 	if err != nil {
 		return nil, err
 	}
-	return &Device{
+	d := &Device{
 		cfg:     cfg,
 		clock:   clock,
 		link:    link,
@@ -158,7 +169,20 @@ func New(cfg Config, clock *sim.Clock, link *pcie.Link, hostMem *nvme.HostMemory
 		tree:    tree,
 		hostMem: hostMem,
 		qp:      nvme.NewQueuePair(cfg.QueueDepth),
-	}, nil
+	}
+	// A committed tree flush is the durability point: acknowledged records
+	// are on flash, so the battery-backed journal empties.
+	tree.SetOnDurable(d.jnl.reset)
+	return d, nil
+}
+
+// SetInjector wires a plan-driven fault injector through every device-side
+// component that can fail: the NAND array, the DMA engine, and the
+// controller's own command dispatch. A nil injector disables injection.
+func (d *Device) SetInjector(inj *fault.Injector) {
+	d.inj = inj
+	d.flash.SetInjector(inj)
+	d.eng.SetInjector(inj)
 }
 
 // Queues exposes the device's queue pair for the driver.
@@ -226,6 +250,27 @@ func (d *Device) ProcessPending(t sim.Time) (sim.Time, error) {
 // device-side work finished.
 func (d *Device) execute(t sim.Time, cmd nvme.Command) (nvme.Completion, sim.Time) {
 	comp := nvme.Completion{CommandID: cmd.CommandID(), Status: nvme.StatusSuccess}
+	if d.dead {
+		// Power has been cut: nothing executes until the host mounts the
+		// device again.
+		comp.Status = nvme.StatusPowerLoss
+		return comp, t
+	}
+	if eff, ok := d.inj.Check(fault.SiteExec, t); ok {
+		if d.tr != nil {
+			d.tr.Emit(trace.Event{Cat: trace.CatDevice, Name: trace.EvFault, Op: byte(cmd.Opcode()), Start: t, End: t, Arg: int64(eff)})
+		}
+		switch eff {
+		case fault.EffectPowerCut:
+			d.powerCut(t)
+			comp.Status = nvme.StatusPowerLoss
+		case fault.EffectTransient:
+			comp.Status = nvme.StatusTransient
+		default:
+			comp.Status = nvme.StatusMedia
+		}
+		return comp, t
+	}
 	var end sim.Time
 	var err error
 	switch cmd.Opcode() {
@@ -265,6 +310,11 @@ func (d *Device) execute(t sim.Time, cmd nvme.Command) (nvme.Completion, sim.Tim
 		return comp, t
 	}
 	if err != nil {
+		if errors.Is(err, fault.ErrPowerCut) {
+			// The cut happened mid-command, somewhere down the stack; all
+			// volatile state is gone as of now.
+			d.powerCut(t)
+		}
 		comp.Status = classify(err)
 	}
 	if d.tr != nil {
@@ -282,9 +332,115 @@ func classify(err error) nvme.Status {
 		return nvme.StatusIterEnd
 	case err == errBadField:
 		return nvme.StatusInvalidField
+	case errors.Is(err, fault.ErrPowerCut):
+		return nvme.StatusPowerLoss
+	case errors.Is(err, fault.ErrTransient):
+		return nvme.StatusTransient
+	case errors.Is(err, nand.ErrIOFault):
+		return nvme.StatusMedia
 	default:
 		return nvme.StatusInternal
 	}
+}
+
+// powerCut truncates the device's volatile state at simulated time t: the
+// open pending write, the device-side iterator, and (conceptually) the SQ/CQ
+// rings are lost; the dead latch makes every subsequent command complete
+// with StatusPowerLoss until Mount. Battery-backed state — the vLog page
+// buffer and the index journal — survives, as the paper's platform rides out
+// power loss (§2.2).
+func (d *Device) powerCut(t sim.Time) {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	d.pending = nil
+	d.iter = nil
+	d.stats.PowerCuts.Inc()
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{Cat: trace.CatDevice, Name: trace.EvPowerCut, Start: t, End: t})
+	}
+}
+
+// Mount brings a power-cut device back into service: fresh SQ/CQ rings, the
+// LSM catalog rolled back to its last durable point, and the battery-backed
+// index journal replayed into a fresh MemTable — which restores every
+// acknowledged write. The returned time includes the replay's device work.
+//
+// If a fault fires during replay (plans can do that), the journal still
+// holds every record not yet durable, so a subsequent Mount resumes cleanly.
+func (d *Device) Mount(t sim.Time) (sim.Time, error) {
+	d.dead = false
+	d.pending = nil
+	d.iter = nil
+	// The rings are volatile; the driver re-reads Queues() on every submit,
+	// so replacing the pair models the host re-creating its queues.
+	d.qp = nvme.NewQueuePair(d.cfg.QueueDepth)
+	d.qp.Attach(d.clock, d.tr)
+	d.stats.Mounts.Inc()
+	end := t
+	if d.cfg.NANDEnabled {
+		d.tree.Restore()
+		var err error
+		end, err = d.replayJournal(t)
+		if err != nil {
+			return end, err
+		}
+	}
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{Cat: trace.CatDevice, Name: trace.EvMount, Start: t, End: end, Arg: int64(d.stats.ReplayedRecords.Value())})
+	}
+	return end, nil
+}
+
+// replayJournal re-indexes every journal record through the journaled insert
+// path. Replay charges one device memcpy per record (reading it out of the
+// battery-backed region) and validates value addresses against the vLog's
+// live range before trusting them.
+func (d *Device) replayJournal(t sim.Time) (sim.Time, error) {
+	if d.jnl.len() == 0 {
+		return t, nil
+	}
+	// Snapshot first: re-appending goes through the live journal, and a tree
+	// flush during replay resets it (those records just became durable).
+	recs := append([]journalRecord(nil), d.jnl.recs...)
+	arena := append([]byte(nil), d.jnl.arena...)
+	d.jnl.reset()
+	end := t
+	for i, r := range recs {
+		key := arena[r.keyOff : r.keyOff+r.keyLen]
+		end = d.eng.Memcpy(end, r.keyLen+journalRecordOverhead)
+		if !r.tomb && !d.vlog.Contains(r.addr, int(r.size)) {
+			// Stale: vLog GC reclaimed this value's pages after the record
+			// was journaled — which only happens once a later record (the
+			// relocation, an overwrite, or a tombstone) superseded it. The
+			// later record is authoritative; skip this one.
+			continue
+		}
+		d.jnl.append(key, r.addr, r.size, r.tomb)
+		var err error
+		if r.tomb {
+			end, err = d.tree.Delete(end, key)
+		} else {
+			end, err = d.tree.Put(end, key, r.addr, r.size)
+		}
+		if err != nil {
+			// Keep the not-yet-replayed tail journaled so the next Mount
+			// can resume; the failing record is already re-appended above.
+			for _, rr := range recs[i+1:] {
+				d.jnl.append(arena[rr.keyOff:rr.keyOff+rr.keyLen], rr.addr, rr.size, rr.tomb)
+			}
+			if errors.Is(err, fault.ErrPowerCut) {
+				d.powerCut(end)
+			}
+			return end, err
+		}
+		d.stats.ReplayedRecords.Inc()
+		if d.tr != nil {
+			d.tr.Emit(trace.Event{Cat: trace.CatDevice, Name: trace.EvReplay, Start: end, End: end, Bytes: int64(r.size)})
+		}
+	}
+	return end, nil
 }
 
 var (
@@ -430,6 +586,10 @@ func (d *Device) commitWrite(pw *pendingWrite) (sim.Time, error) {
 		if err != nil {
 			return end, err
 		}
+		// Journal before indexing: once the value is in the battery-backed
+		// buffer and the record is journaled, the write survives power loss
+		// even if the tree insert below is interrupted.
+		d.jnl.append(pw.key, addr, uint32(len(pw.value)), false)
 		end, err = d.tree.Put(end, pw.key, addr, uint32(len(pw.value)))
 		if err != nil {
 			return end, err
@@ -484,6 +644,7 @@ func (d *Device) execDelete(t sim.Time, cmd nvme.Command) (sim.Time, error) {
 	}
 	end := t
 	if d.cfg.NANDEnabled {
+		d.jnl.append(key, 0, 0, true)
 		var err error
 		end, err = d.tree.Delete(t, key)
 		if err != nil {

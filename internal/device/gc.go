@@ -63,6 +63,9 @@ func (d *Device) CompactVLog(t sim.Time, pages int) (int, sim.Time, error) {
 		if err != nil {
 			return 0, end, fmt.Errorf("device: GC append: %w", err)
 		}
+		// Relocation rewrites an acknowledged record's address; journal it so
+		// a post-GC power cut cannot resurrect the reclaimed location.
+		d.jnl.append(e.Key, addr, e.Size, false)
 		end, err = d.tree.Put(aEnd, e.Key, addr, e.Size)
 		if err != nil {
 			return 0, end, fmt.Errorf("device: GC reindex: %w", err)

@@ -7,12 +7,18 @@ package dma
 import (
 	"fmt"
 
+	"bandslim/internal/fault"
 	"bandslim/internal/metrics"
 	"bandslim/internal/nvme"
 	"bandslim/internal/pcie"
 	"bandslim/internal/sim"
 	"bandslim/internal/trace"
 )
+
+// ErrTransfer is an injected DMA transfer failure. It wraps the fault
+// package's transient sentinel, so the device controller surfaces it as a
+// retryable NVMe status.
+var ErrTransfer = fmt.Errorf("dma: transfer error: %w", fault.ErrTransient)
 
 // PageAligned reports whether an address or size satisfies the engine's
 // 4 KiB alignment restriction.
@@ -51,6 +57,7 @@ type Stats struct {
 	Memcpys          metrics.Counter
 	MemcpyBytes      metrics.Counter
 	MemcpyTime       metrics.Counter // nanoseconds of device CPU copy time
+	TransferFaults   metrics.Counter // injected transfer failures
 }
 
 // Engine is the device's DMA engine. Transfers occupy the PCIe link and are
@@ -61,6 +68,7 @@ type Engine struct {
 	memcpy MemcpyModel
 	stats  Stats
 	tr     trace.Tracer
+	inj    *fault.Injector
 }
 
 // NewEngine returns an engine attached to the link.
@@ -73,6 +81,27 @@ func (e *Engine) Stats() *Stats { return &e.stats }
 
 // SetTracer enables transfer/memcpy span tracing; nil turns it back off.
 func (e *Engine) SetTracer(tr trace.Tracer) { e.tr = tr }
+
+// SetInjector installs a plan-driven fault injector (nil disables). The
+// engine consults it before moving any payload bytes, so a faulted transfer
+// leaves both host and device memory untouched.
+func (e *Engine) SetInjector(inj *fault.Injector) { e.inj = inj }
+
+// checkFault evaluates the injector at a DMA site. A power-cut effect
+// surfaces the power-cut sentinel; media and transient effects both surface
+// ErrTransfer (on a link, every data error is a transfer error, and the
+// host may retry it).
+func (e *Engine) checkFault(site fault.Site, t sim.Time) error {
+	eff, ok := e.inj.Check(site, t)
+	if !ok {
+		return nil
+	}
+	e.stats.TransferFaults.Inc()
+	if eff == fault.EffectPowerCut {
+		return fmt.Errorf("dma: %w", fault.ErrPowerCut)
+	}
+	return ErrTransfer
+}
 
 // TransferIn performs a host→device page-unit DMA described by a PRP list:
 // it gathers the payload from host memory, moves full pages across the link
@@ -99,6 +128,9 @@ func (e *Engine) TransferIn(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList) ([
 func (e *Engine) TransferInTo(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList, dst []byte) ([]byte, sim.Time, error) {
 	if prp.Payload == 0 {
 		return nil, t, nil
+	}
+	if err := e.checkFault(fault.SiteDMAIn, t); err != nil {
+		return nil, t, err
 	}
 	payload, err := prp.GatherInto(m, dst)
 	if err != nil {
@@ -140,6 +172,9 @@ func (e *Engine) TransferInSGLTo(t sim.Time, m *nvme.HostMemory, prp nvme.PRPLis
 	if prp.Payload == 0 {
 		return nil, t, nil
 	}
+	if err := e.checkFault(fault.SiteDMAIn, t); err != nil {
+		return nil, t, err
+	}
 	payload, err := prp.GatherInto(m, dst)
 	if err != nil {
 		return nil, t, fmt.Errorf("dma: sgl gather: %w", err)
@@ -163,6 +198,9 @@ func (e *Engine) TransferInSGLTo(t sim.Time, m *nvme.HostMemory, prp nvme.PRPLis
 func (e *Engine) TransferOut(t sim.Time, m *nvme.HostMemory, prp nvme.PRPList, data []byte) (sim.Time, error) {
 	if len(data) == 0 {
 		return t, nil
+	}
+	if err := e.checkFault(fault.SiteDMAOut, t); err != nil {
+		return t, err
 	}
 	if err := prp.Scatter(m, data); err != nil {
 		return t, fmt.Errorf("dma: scatter: %w", err)

@@ -101,12 +101,19 @@ func (b *Batcher) Put(key, value []byte) error {
 }
 
 // Flush ships the buffered batch as one bulk write. A no-op when empty.
+//
+// A failed flush DISCARDS the buffered records. They were never durable (the
+// Put contract), the error tells the caller the whole batch failed, and
+// retaining them would resurrect the failed records on the next Flush —
+// after the caller may have acknowledged newer writes to the same keys,
+// silently reordering history.
 func (b *Batcher) Flush() error {
 	if len(b.keys) == 0 {
 		return nil
 	}
 	prp, fresh, err := b.d.stagePayload(b.payload)
 	if err != nil {
+		b.discard()
 		return err
 	}
 	if fresh {
@@ -123,21 +130,30 @@ func (b *Batcher) Flush() error {
 	}
 	comp, err := b.d.submit(cmd)
 	if err != nil {
+		b.discard()
 		return err
 	}
 	if err := comp.Status.Err(); err != nil {
+		b.discard()
 		return err
 	}
 	if int(comp.Result) != len(b.keys) {
-		return fmt.Errorf("driver: batch wrote %d of %d records", comp.Result, len(b.keys))
+		n, want := comp.Result, len(b.keys)
+		b.discard()
+		return fmt.Errorf("driver: batch wrote %d of %d records", n, want)
 	}
 	b.stats.Flushes.Inc()
 	b.stats.FlushedBytes.Add(int64(len(b.payload)))
 	b.d.stats.Puts.Add(int64(len(b.keys)))
+	b.discard()
+	return nil
+}
+
+// discard drops the buffered records, successful or not.
+func (b *Batcher) discard() {
 	b.keys = b.keys[:0]
 	b.keyArena = b.keyArena[:0]
 	b.payload = b.payload[:0]
-	return nil
 }
 
 // SimulatePowerFailure models the §2 data-loss scenario host-side batching

@@ -92,18 +92,42 @@ func DefaultThresholds() Thresholds {
 // other field non-zero, e.g. Thresholds{Alpha: 1, Beta: 1}.
 func (t Thresholds) IsZero() bool { return t == Thresholds{} }
 
+// RetryPolicy governs how the driver reacts to retryable completions
+// (transient transfer errors, nvme.StatusTransient). Each retry re-submits
+// the same command after an exponentially growing host-side backoff.
+type RetryPolicy struct {
+	// MaxRetries bounds the re-submissions per command. Negative disables
+	// retry entirely; the zero value is the "use defaults" sentinel.
+	MaxRetries int
+	// Backoff is the wait before the first retry; it doubles per attempt.
+	Backoff sim.Duration
+}
+
+// DefaultRetryPolicy retries four times starting at 10 µs — enough to ride
+// out any plan-injected transient burst shorter than five occurrences.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 4, Backoff: 10 * sim.Microsecond}
+}
+
+// IsZero reports whether the policy is the "use defaults" sentinel. A caller
+// who deliberately wants no retries sets MaxRetries negative.
+func (r RetryPolicy) IsZero() bool { return r == RetryPolicy{} }
+
 // Stats tallies host-side activity.
 type Stats struct {
-	Puts           metrics.Counter
-	Gets           metrics.Counter
-	Deletes        metrics.Counter
-	Scans          metrics.Counter
-	InlineChosen   metrics.Counter
-	PRPChosen      metrics.Counter
-	HybridChosen   metrics.Counter
-	WriteResponse  *metrics.Histogram // ns per PUT
-	ReadResponse   *metrics.Histogram // ns per GET
-	CommandsIssued metrics.Counter
+	Puts             metrics.Counter
+	Gets             metrics.Counter
+	Deletes          metrics.Counter
+	Scans            metrics.Counter
+	InlineChosen     metrics.Counter
+	PRPChosen        metrics.Counter
+	HybridChosen     metrics.Counter
+	WriteResponse    *metrics.Histogram // ns per PUT
+	ReadResponse     *metrics.Histogram // ns per GET
+	CommandsIssued   metrics.Counter
+	Retries          metrics.Counter // retryable completions re-submitted
+	RetriesExhausted metrics.Counter // commands that failed every retry
+	Recoveries       metrics.Counter // device mounts performed after power loss
 	// PerOp breaks command round-trip latency down by NVMe opcode;
 	// PerMethod breaks PUT response time down by the transfer mode chosen.
 	PerOp     *metrics.HistogramSet
@@ -125,6 +149,7 @@ type Driver struct {
 	pipelined bool
 	method    Method
 	thr       Thresholds
+	retry     RetryPolicy
 	nextID    uint16
 	stats     Stats
 	tr        trace.Tracer
@@ -156,6 +181,7 @@ func New(clock *sim.Clock, link *pcie.Link, mem *nvme.HostMemory, dev *device.De
 		dev:    dev,
 		method: method,
 		thr:    thr,
+		retry:  DefaultRetryPolicy(),
 		stats: Stats{
 			WriteResponse: metrics.NewHistogram(),
 			ReadResponse:  metrics.NewHistogram(),
@@ -183,6 +209,17 @@ func (d *Driver) Thresholds() Thresholds { return d.thr }
 
 // SetThresholds replaces the adaptive calibration.
 func (d *Driver) SetThresholds(t Thresholds) { d.thr = t }
+
+// Retry reports the active retry policy.
+func (d *Driver) Retry() RetryPolicy { return d.retry }
+
+// SetRetry replaces the retry policy (the zero value restores defaults).
+func (d *Driver) SetRetry(r RetryPolicy) {
+	if r.IsZero() {
+		r = DefaultRetryPolicy()
+	}
+	d.retry = r
+}
 
 // SetPipelined toggles burst submission of multi-command PUTs (default off,
 // matching the paper's serialized passthrough testbed).
@@ -227,10 +264,37 @@ func (d *Driver) choose(size int) nvme.TransferMode {
 	}
 }
 
-// submit pushes one command through the full synchronous round trip: SQ
+// submit pushes one command through submitOnce, re-submitting on retryable
+// completions (transient transfer errors) under the retry policy: an
+// exponentially growing host-side backoff between attempts. Bursts are never
+// retried — partial burst completion makes replayed side effects ambiguous,
+// so burst callers surface the error instead.
+func (d *Driver) submit(cmd nvme.Command) (nvme.Completion, error) {
+	comp, err := d.submitOnce(cmd)
+	if err != nil || !comp.Status.Retryable() || d.retry.MaxRetries < 0 {
+		return comp, err
+	}
+	backoff := d.retry.Backoff
+	for attempt := 0; attempt < d.retry.MaxRetries; attempt++ {
+		d.stats.Retries.Inc()
+		if d.tr != nil {
+			d.tr.Emit(trace.Event{Cat: trace.CatDriver, Name: trace.EvRetry, Op: byte(cmd.Opcode()), Start: d.clock.Now(), End: d.clock.Now().Add(backoff), Arg: int64(attempt + 1)})
+		}
+		d.clock.Advance(backoff)
+		backoff *= 2
+		comp, err = d.submitOnce(cmd)
+		if err != nil || !comp.Status.Retryable() {
+			return comp, err
+		}
+	}
+	d.stats.RetriesExhausted.Inc()
+	return comp, err
+}
+
+// submitOnce pushes one command through the full synchronous round trip: SQ
 // push, SQ doorbell, device processing, completion reap, CQ doorbell. It
 // returns the completion. The clock advances to the response time.
-func (d *Driver) submit(cmd nvme.Command) (nvme.Completion, error) {
+func (d *Driver) submitOnce(cmd nvme.Command) (nvme.Completion, error) {
 	t0 := d.clock.Now()
 	if err := d.dev.Queues().SQ.Push(cmd); err != nil {
 		return nvme.Completion{}, err
@@ -707,6 +771,19 @@ func (d *Driver) Identify() (device.IdentifyData, error) {
 	}
 	d.readBuf = data[:0]
 	return device.ParseIdentify(data), nil
+}
+
+// Recover mounts the device after a power cut: fresh queues, the LSM index
+// rolled back to its last durable point, and the battery-backed journal
+// replayed — restoring every acknowledged write. The clock advances past the
+// replay work plus one command round trip (the host's re-attach handshake).
+// A fault plan can cut power again mid-replay; the returned error then
+// carries StatusPowerLoss semantics and a subsequent Recover resumes.
+func (d *Driver) Recover() error {
+	end, err := d.dev.Mount(d.clock.Now())
+	d.clock.AdvanceTo(end.Add(d.link.Model.CommandRoundTrip))
+	d.stats.Recoveries.Inc()
+	return err
 }
 
 // CompactVLog asks the device to garbage-collect the oldest `pages` value-

@@ -10,8 +10,10 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
+	"bandslim/internal/fault"
 	"bandslim/internal/metrics"
 	"bandslim/internal/nand"
 	"bandslim/internal/sim"
@@ -27,6 +29,7 @@ type Stats struct {
 	GCErases      metrics.Counter // blocks reclaimed by GC
 	MapUpdates    metrics.Counter
 	ProgramFaults metrics.Counter // programs retried due to injected faults
+	BadBlocks     metrics.Counter // blocks retired after media failures
 }
 
 // Config tunes the FTL.
@@ -56,6 +59,7 @@ type FTL struct {
 	p2l        []int32 // physical page index -> logical page (or -1)
 	validCount []int32 // per physical block: live pages
 	freeBlocks [][]int // per way: stack of free block numbers
+	bad        []bool  // per physical block: retired after a media failure
 	active     []activeBlock
 	nextWay    int  // round-robin write striping cursor
 	inGC       bool // guards against re-entrant emergency GC
@@ -88,6 +92,7 @@ func New(flash *nand.Array, cfg Config) (*FTL, error) {
 		p2l:        make([]int32, geo.Pages()),
 		validCount: make([]int32, geo.Blocks()),
 		freeBlocks: make([][]int, geo.Ways()),
+		bad:        make([]bool, geo.Blocks()),
 		active:     make([]activeBlock, geo.Ways()),
 	}
 	logicalPages := geo.Pages() * (100 - cfg.OverprovisionPct) / 100
@@ -203,9 +208,18 @@ func (f *FTL) program(t sim.Time, data []byte) (sim.Time, int, error) {
 	return f.programOnWay(t, way, data)
 }
 
+// maxProgramRetries bounds write redirection: a media failure retires the
+// active block and redirects the write into a fresh one; after this many
+// consecutive retirements the failure is reported as persistent.
+const maxProgramRetries = 4
+
 // programOnWay programs a page on a specific way. GC uses this to migrate a
 // victim's live pages within the victim's own way, which guarantees each GC
 // round frees at least the victim's dead-page count.
+//
+// A media failure retires the active block (grown bad block) and redirects
+// the write into a freshly opened block. Power cuts and transient faults
+// propagate untouched: neither indicts the block.
 func (f *FTL) programOnWay(t sim.Time, way int, data []byte) (sim.Time, int, error) {
 	for attempt := 0; ; attempt++ {
 		phys, _, err := f.allocPage(t, way)
@@ -216,11 +230,29 @@ func (f *FTL) programOnWay(t sim.Time, way int, data []byte) (sim.Time, int, err
 		if err == nil {
 			return end, phys, nil
 		}
+		if errors.Is(err, fault.ErrPowerCut) || errors.Is(err, fault.ErrTransient) {
+			return t, 0, err
+		}
 		f.stats.ProgramFaults.Inc()
-		if attempt >= f.geo.PagesPerBlock {
+		f.retireActive(way)
+		if attempt >= maxProgramRetries {
 			return t, 0, fmt.Errorf("ftl: persistent program failure on way %d: %w", way, err)
 		}
 	}
+}
+
+// retireActive marks the way's active block as grown-bad and closes it, so
+// the next allocation opens a fresh block. Live pages already programmed in
+// the retired block stay mapped and readable; they die naturally as they are
+// overwritten or trimmed (the block is excluded from GC and reuse).
+func (f *FTL) retireActive(way int) {
+	ab := &f.active[way]
+	if ab.block < 0 {
+		return
+	}
+	f.bad[way*f.geo.BlocksPerWay+ab.block] = true
+	f.stats.BadBlocks.Inc()
+	ab.block = -1
 }
 
 // remap points lpn at phys, invalidating any prior mapping.
@@ -311,7 +343,7 @@ func (f *FTL) gcOnce(t sim.Time, way int) (bool, error) {
 	activeBlk := f.active[way].block
 	slots := int32(f.availableSlots(way))
 	for b := 0; b < f.geo.BlocksPerWay; b++ {
-		if b == activeBlk || f.isFree(way, b) {
+		if b == activeBlk || f.bad[way*f.geo.BlocksPerWay+b] || f.isFree(way, b) {
 			continue
 		}
 		v := f.validCount[way*f.geo.BlocksPerWay+b]
@@ -361,7 +393,15 @@ func (f *FTL) gcOnce(t sim.Time, way int) (bool, error) {
 		Block:   victim,
 	}
 	if _, err := f.flash.Erase(t, addr); err != nil {
-		return false, fmt.Errorf("ftl: GC erase: %w", err)
+		if errors.Is(err, fault.ErrPowerCut) || errors.Is(err, fault.ErrTransient) {
+			return false, fmt.Errorf("ftl: GC erase: %w", err)
+		}
+		// Erase media failure: retire the victim instead of returning it to
+		// the free pool. Its live pages were already migrated, so reporting
+		// the round as productive lets the caller try another victim.
+		f.bad[way*f.geo.BlocksPerWay+victim] = true
+		f.stats.BadBlocks.Inc()
+		return true, nil
 	}
 	f.freeBlocks[way] = append(f.freeBlocks[way], victim)
 	f.stats.GCErases.Inc()

@@ -346,3 +346,19 @@ func (a *pageAllocator) free(p int) { a.freeList = append(a.freeList, p) }
 
 // inUse reports how many pages are currently allocated.
 func (a *pageAllocator) inUse() int { return a.next - len(a.freeList) }
+
+// allocState is a restorable copy of the allocator, captured in the tree's
+// committed catalog.
+type allocState struct {
+	next     int
+	freeList []int
+}
+
+func (a *pageAllocator) snapshot() allocState {
+	return allocState{next: a.next, freeList: append([]int(nil), a.freeList...)}
+}
+
+func (a *pageAllocator) restore(s allocState) {
+	a.next = s.next
+	a.freeList = append(a.freeList[:0], s.freeList...)
+}

@@ -75,6 +75,68 @@ type Tree struct {
 	// next lookup.
 	searchEntries []Entry
 	searchArena   []byte
+
+	// Crash-atomicity state. The catalog (levels + allocator + nextID) is
+	// snapshotted at the end of every successful Flush; Restore rolls back to
+	// that snapshot after a power cut. Pages vacated by compaction are only
+	// trimmed at commit (pendingFree), so the committed catalog's tables are
+	// always intact on flash.
+	pendingFree []int
+	committed   catalog
+	onDurable   func()
+}
+
+// catalog is the durable view of the tree: everything needed to rebuild it
+// at mount, as firmware would persist in a superblock.
+type catalog struct {
+	levels [][]*SSTable // SSTables are immutable; sharing pointers is safe
+	alloc  allocState
+	nextID uint64
+}
+
+// snapshotCatalog deep-copies the level structure (table pointers shared).
+func (tr *Tree) snapshotCatalog() catalog {
+	levels := make([][]*SSTable, len(tr.levels))
+	for i, lvl := range tr.levels {
+		levels[i] = append([]*SSTable(nil), lvl...)
+	}
+	return catalog{levels: levels, alloc: tr.alloc.snapshot(), nextID: tr.nextID}
+}
+
+// commit applies the deferred page frees and snapshots the catalog. Called
+// at the end of every successful Flush — the tree's durability point.
+func (tr *Tree) commit() {
+	for _, pg := range tr.pendingFree {
+		tr.alloc.free(pg)
+		// Trim failures only occur for out-of-range pages, which would be a
+		// bug caught by the allocator; ignore defensively.
+		_ = tr.store.TrimPage(pg)
+	}
+	tr.pendingFree = tr.pendingFree[:0]
+	tr.committed = tr.snapshotCatalog()
+	if tr.onDurable != nil {
+		tr.onDurable()
+	}
+}
+
+// SetOnDurable registers a hook invoked every time the tree reaches a new
+// durable point (end of a successful Flush). The device uses it to clear its
+// battery-backed index journal.
+func (tr *Tree) SetOnDurable(fn func()) { tr.onDurable = fn }
+
+// Restore rolls the tree back to its last committed catalog: the MemTable
+// empties, partially flushed tables vanish, and deferred frees are dropped
+// (their pages were never trimmed, so the committed tables remain intact).
+// The device mount calls this before replaying its journal.
+func (tr *Tree) Restore() {
+	tr.levels = make([][]*SSTable, len(tr.committed.levels))
+	for i, lvl := range tr.committed.levels {
+		tr.levels[i] = append([]*SSTable(nil), lvl...)
+	}
+	tr.alloc.restore(tr.committed.alloc)
+	tr.nextID = tr.committed.nextID
+	tr.mem = NewMemTable()
+	tr.pendingFree = tr.pendingFree[:0]
 }
 
 // NewTree builds an empty tree over the store.
@@ -82,13 +144,15 @@ func NewTree(cfg Config, store PageStore) (*Tree, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Tree{
+	tr := &Tree{
 		cfg:    cfg,
 		store:  store,
 		alloc:  newPageAllocator(store.Pages()),
 		mem:    NewMemTable(),
 		levels: make([][]*SSTable, cfg.MaxLevels),
-	}, nil
+	}
+	tr.committed = tr.snapshotCatalog()
+	return tr, nil
 }
 
 // Stats exposes the tree's tallies.
@@ -163,6 +227,7 @@ func (tr *Tree) Flush(t sim.Time) (sim.Time, error) {
 	if cEnd > end {
 		end = cEnd
 	}
+	tr.commit()
 	return end, nil
 }
 
@@ -409,15 +474,13 @@ func (tr *Tree) merge(t sim.Time, inputs []*SSTable, bottom bool) ([]*SSTable, s
 	return out, end, nil
 }
 
-// freeTables returns every input table's pages to the allocator and FTL.
+// freeTables schedules every input table's pages for release. The frees are
+// deferred to the next catalog commit: until then the pages stay allocated
+// and untrimmed, so a crash between compaction and commit can roll back to
+// the previous catalog with all its tables readable.
 func (tr *Tree) freeTables(tables []*SSTable) {
 	for _, table := range tables {
-		for _, pg := range table.pages {
-			tr.alloc.free(pg)
-			// Trim failures only occur for out-of-range pages, which
-			// would be a bug caught by the allocator; ignore defensively.
-			_ = tr.store.TrimPage(pg)
-		}
+		tr.pendingFree = append(tr.pendingFree, table.pages...)
 	}
 }
 

@@ -7,6 +7,7 @@ package nand
 import (
 	"fmt"
 
+	"bandslim/internal/fault"
 	"bandslim/internal/metrics"
 	"bandslim/internal/sim"
 	"bandslim/internal/trace"
@@ -111,6 +112,11 @@ type Stats struct {
 	BlockErases  metrics.Counter
 	BytesWritten metrics.Counter
 	BytesRead    metrics.Counter
+	// Injected faults, by operation. A faulted attempt still counts in the
+	// operation counter above (it occupied the op slot).
+	ProgramFaults metrics.Counter
+	ReadFaults    metrics.Counter
+	EraseFaults   metrics.Counter
 }
 
 // Array is the flash device: geometry, latencies, per-way timelines, page
@@ -128,6 +134,9 @@ type Array struct {
 	// faultEvery injects a program failure every N-th program when > 0
 	// (test hook for error-path coverage).
 	faultEvery int64
+	// inj is the plan-driven injector consulted before every operation
+	// commits (nil: no injection, a single pointer check per op).
+	inj *fault.Injector
 }
 
 type pageState byte
@@ -173,6 +182,24 @@ func (a *Array) Stats() *Stats { return &a.stats }
 // SetFaultEvery makes every n-th program operation fail (0 disables).
 func (a *Array) SetFaultEvery(n int64) { a.faultEvery = n }
 
+// SetInjector installs a plan-driven fault injector (nil disables). The
+// array consults it before committing each program, read, and erase.
+func (a *Array) SetInjector(inj *fault.Injector) { a.inj = inj }
+
+// faultErr maps an injected effect onto the error the operation surfaces:
+// media errors keep the NAND I/O-fault identity (the FTL retires the block),
+// transients and power cuts carry the fault package sentinels up the stack.
+func faultErr(eff fault.Effect, what fmt.Stringer) error {
+	switch eff {
+	case fault.EffectPowerCut:
+		return fmt.Errorf("nand: %v: %w", what, fault.ErrPowerCut)
+	case fault.EffectTransient:
+		return fmt.Errorf("nand: %v: %w", what, fault.ErrTransient)
+	default:
+		return fmt.Errorf("%w: %v", ErrIOFault, what)
+	}
+}
+
 // SetTracer enables program/read/erase span tracing; nil turns it back off.
 func (a *Array) SetTracer(tr trace.Tracer) { a.tr = tr }
 
@@ -216,6 +243,11 @@ func (a *Array) Program(t sim.Time, p PageAddr, data []byte) (sim.Time, error) {
 		a.stats.PageWrites.Inc() // the attempt still occupies the op slot
 		return t, fmt.Errorf("%w: %v", ErrIOFault, p)
 	}
+	if eff, ok := a.inj.Check(fault.SiteNandProgram, t); ok {
+		a.stats.PageWrites.Inc() // the attempt still occupies the op slot
+		a.stats.ProgramFaults.Inc()
+		return t, faultErr(eff, p)
+	}
 	stored := make([]byte, len(data))
 	copy(stored, data)
 	a.data[idx] = stored
@@ -238,6 +270,11 @@ func (a *Array) Read(t sim.Time, p PageAddr) ([]byte, sim.Time, error) {
 	if err != nil {
 		return nil, t, err
 	}
+	if eff, ok := a.inj.Check(fault.SiteNandRead, t); ok {
+		a.stats.PageReads.Inc() // the attempt still occupies the op slot
+		a.stats.ReadFaults.Inc()
+		return nil, t, faultErr(eff, p)
+	}
 	a.stats.PageReads.Inc()
 	a.stats.BytesRead.Add(int64(a.geo.PageSize))
 	way := a.wayIndex(p.Channel, p.Way)
@@ -259,6 +296,11 @@ func (a *Array) Erase(t sim.Time, b BlockAddr) (sim.Time, error) {
 	bi, err := a.blockIndex(b)
 	if err != nil {
 		return t, err
+	}
+	if eff, ok := a.inj.Check(fault.SiteNandErase, t); ok {
+		a.stats.BlockErases.Inc() // the attempt still occupies the op slot
+		a.stats.EraseFaults.Inc()
+		return t, faultErr(eff, b)
 	}
 	base := bi * a.geo.PagesPerBlock
 	for i := 0; i < a.geo.PagesPerBlock; i++ {

@@ -15,10 +15,13 @@ type Status uint16
 const (
 	StatusSuccess      Status = 0x0
 	StatusInvalidField Status = 0x2
+	StatusTransient    Status = 0x4  // data transfer error; retryable
+	StatusPowerLoss    Status = 0x5  // commands aborted due to power loss
 	StatusKeyNotFound  Status = 0x87 // KV command set: key does not exist
 	StatusCapacity     Status = 0x81 // device capacity exceeded
 	StatusInternal     Status = 0x6
-	StatusIterEnd      Status = 0x93 // device-side iterator exhausted
+	StatusMedia        Status = 0x281 // unrecovered media error (NAND)
+	StatusIterEnd      Status = 0x93  // device-side iterator exhausted
 )
 
 func (s Status) String() string {
@@ -27,12 +30,18 @@ func (s Status) String() string {
 		return "Success"
 	case StatusInvalidField:
 		return "InvalidField"
+	case StatusTransient:
+		return "TransferError"
+	case StatusPowerLoss:
+		return "PowerLoss"
 	case StatusKeyNotFound:
 		return "KeyNotFound"
 	case StatusCapacity:
 		return "CapacityExceeded"
 	case StatusInternal:
 		return "InternalError"
+	case StatusMedia:
+		return "MediaError"
 	case StatusIterEnd:
 		return "IteratorEnd"
 	default:
@@ -40,12 +49,37 @@ func (s Status) String() string {
 	}
 }
 
+// Retryable reports whether resubmitting the command may succeed: true only
+// for transient transfer errors. Media errors need the FTL's redirection
+// (already attempted device-side), and power loss needs a mount.
+func (s Status) Retryable() bool { return s == StatusTransient }
+
+// StatusError is the error a non-success completion converts to. It wraps
+// the status so callers can classify failures with StatusOf / errors.As
+// instead of string matching.
+type StatusError struct {
+	Status Status
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("nvme: command failed: %s", e.Status)
+}
+
+// StatusOf extracts the NVMe status from an error chain, if any.
+func StatusOf(err error) (Status, bool) {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status, true
+	}
+	return StatusSuccess, false
+}
+
 // Err converts a status into a Go error (nil for success).
 func (s Status) Err() error {
 	if s == StatusSuccess {
 		return nil
 	}
-	return fmt.Errorf("nvme: command failed: %s", s)
+	return &StatusError{Status: s}
 }
 
 // Completion is one completion queue entry (16 bytes on the wire).

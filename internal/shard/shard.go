@@ -25,6 +25,7 @@ import (
 
 	"bandslim/internal/device"
 	"bandslim/internal/driver"
+	"bandslim/internal/fault"
 	"bandslim/internal/nvme"
 	"bandslim/internal/pcie"
 	"bandslim/internal/sim"
@@ -43,6 +44,13 @@ type Options struct {
 	// emits, stamped with ShardID. Nil keeps the zero-cost disabled path.
 	Tracer  trace.Tracer
 	ShardID int
+	// Faults, when non-nil, arms a deterministic fault injector through the
+	// stack. Each shard derives its own per-rule RNG streams from the plan
+	// seed salted with ShardID, so a sharded run is reproducible yet shards
+	// fail independently. Nil keeps the zero-cost disabled path.
+	Faults *fault.Plan
+	// Retry overrides the driver's retry policy (zero value = defaults).
+	Retry driver.RetryPolicy
 }
 
 // Stack is one full simulated host+device pair: the components bandslim.DB
@@ -67,6 +75,13 @@ func NewStack(o Options) (*Stack, error) {
 	}
 	drv := driver.New(clock, link, mem, dev, o.Method, o.Thresholds)
 	drv.SetPipelined(o.Pipelined)
+	drv.SetRetry(o.Retry)
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		dev.SetInjector(fault.NewInjector(o.Faults, uint64(o.ShardID)))
+	}
 	if tr := trace.WithShard(o.Tracer, o.ShardID); tr != nil {
 		link.Attach(clock, tr)
 		dev.SetTracer(tr)
@@ -320,6 +335,14 @@ func (s *Shard) Do(fn func()) {
 	c.kind = opFn
 	c.fn = fn
 	s.finish()
+}
+
+// Recover mounts this shard's device after a power cut, replaying the
+// battery-backed journal on the worker goroutine.
+func (s *Shard) Recover() error {
+	var err error
+	s.Do(func() { err = s.stack.Drv.Recover() })
+	return err
 }
 
 // Close stops the worker goroutine and waits for it to exit. Idempotent.

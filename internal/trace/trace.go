@@ -96,6 +96,14 @@ const (
 	EvErase
 	// CatDevice: firmware execution of one command.
 	EvExec
+	// Fault injection and crash recovery: an injected fault firing, the
+	// power-cut truncation instant, a host-side resubmission, a device mount,
+	// and one replayed journal record.
+	EvFault
+	EvPowerCut
+	EvRetry
+	EvMount
+	EvReplay
 )
 
 func (n Name) String() string {
@@ -148,6 +156,16 @@ func (n Name) String() string {
 		return "erase"
 	case EvExec:
 		return "exec"
+	case EvFault:
+		return "fault"
+	case EvPowerCut:
+		return "power_cut"
+	case EvRetry:
+		return "retry"
+	case EvMount:
+		return "mount"
+	case EvReplay:
+		return "replay"
 	default:
 		return fmt.Sprintf("ev(%d)", uint8(n))
 	}

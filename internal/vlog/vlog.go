@@ -170,6 +170,13 @@ func (v *VLog) AdvanceTail(newTail int64) error {
 	return nil
 }
 
+// Contains reports whether [addr, addr+n) lies entirely inside the vLog's
+// live range (above the reclaimed tail, below the append frontier). Mount
+// replay uses it to validate journal records before re-indexing them.
+func (v *VLog) Contains(addr Addr, n int) bool {
+	return int64(addr) >= v.tail && int64(addr)+int64(n) <= v.buf.Frontier()
+}
+
 // Read fetches n bytes at addr, stitching flushed NAND pages and open buffer
 // pages, and returns the data plus the completion time of the slowest page
 // read involved.

@@ -120,10 +120,11 @@ func (db *DB) Series() MetricSeries {
 // after Close, and is deterministic: same-seed runs produce byte-identical
 // output.
 func (db *DB) WritePrometheus(w io.Writer) error {
+	faults := db.cfg.Faults != nil
 	db.mu.Lock()
-	snap := snapshotStack(db.st)
+	snap := snapshotStack(db.st, faults)
 	db.mu.Unlock()
-	return timeseries.WritePrometheus(w, "bandslim", seriesDescs, snap, histHelp)
+	return timeseries.WritePrometheus(w, "bandslim", descsFor(faults), snap, histHelp)
 }
 
 // WriteSeriesCSV writes a metric series as one CSV table: a t_us time axis,

@@ -109,10 +109,11 @@ func OpenSharded(cfg ShardedConfig) (*ShardedDB, error) {
 		// after every operation. Safe to install here: no operations have
 		// been submitted yet.
 		samplers = make([]*timeseries.Sampler, len(shards))
+		faults := cfg.PerShard.Faults != nil
 		for i, sh := range shards {
 			st := sh.Stack()
-			smp := timeseries.NewSampler(interval, seriesDescs,
-				func() timeseries.Snapshot { return snapshotStack(st) })
+			smp := timeseries.NewSampler(interval, descsFor(faults),
+				func() timeseries.Snapshot { return snapshotStack(st, faults) })
 			sh.SetAfterOp(func() { smp.Poll(st.Clock.Now()) })
 			samplers[i] = smp
 		}
@@ -455,6 +456,18 @@ func mergeSnapshots(snaps []shardSnapshot) Stats {
 		out.Adaptive.Inline += p.Adaptive.Inline
 		out.Adaptive.PRP += p.Adaptive.PRP
 		out.Adaptive.Hybrid += p.Adaptive.Hybrid
+		out.Faults.NandProgramFaults += p.Faults.NandProgramFaults
+		out.Faults.NandReadFaults += p.Faults.NandReadFaults
+		out.Faults.NandEraseFaults += p.Faults.NandEraseFaults
+		out.Faults.TransferFaults += p.Faults.TransferFaults
+		out.Faults.BadBlocks += p.Faults.BadBlocks
+		out.Faults.FTLRetries += p.Faults.FTLRetries
+		out.Faults.PowerCuts += p.Faults.PowerCuts
+		out.Faults.Mounts += p.Faults.Mounts
+		out.Faults.ReplayedRecords += p.Faults.ReplayedRecords
+		out.Faults.Retries += p.Faults.Retries
+		out.Faults.RetriesExhausted += p.Faults.RetriesExhausted
+		out.Faults.Recoveries += p.Faults.Recoveries
 		if p.Host.Elapsed > out.Host.Elapsed {
 			out.Host.Elapsed = p.Host.Elapsed
 		}
@@ -515,9 +528,10 @@ func (s *ShardedDB) Series() MetricSeries {
 // their mode, histograms merge bucket-exactly. Safe to call while shards
 // are actively serving (the live /metrics scrape path) and after Close.
 func (s *ShardedDB) WritePrometheus(w io.Writer) error {
+	faults := s.cfg.PerShard.Faults != nil
 	s.mu.RLock()
 	snaps := make([]timeseries.Snapshot, len(s.shards))
-	collect := func(i int, sh *shard.Shard) { snaps[i] = snapshotStack(sh.Stack()) }
+	collect := func(i int, sh *shard.Shard) { snaps[i] = snapshotStack(sh.Stack(), faults) }
 	if s.closed {
 		for i, sh := range s.shards {
 			collect(i, sh)
@@ -534,8 +548,40 @@ func (s *ShardedDB) WritePrometheus(w io.Writer) error {
 		wg.Wait()
 	}
 	s.mu.RUnlock()
-	merged := timeseries.MergeSnapshots(seriesDescs, snaps)
-	return timeseries.WritePrometheus(w, "bandslim", seriesDescs, merged, histHelp)
+	descs := descsFor(faults)
+	merged := timeseries.MergeSnapshots(descs, snaps)
+	return timeseries.WritePrometheus(w, "bandslim", descs, merged, histHelp)
+}
+
+// Recover remounts every power-cut shard device in parallel: fresh queues,
+// the LSM index rolled back to its last durable flush, and the battery-backed
+// journal replayed, restoring every acknowledged write on every shard.
+// Mounting a shard that never lost power is a harmless no-op (its journal
+// replays into the same state), so Recover is safe to call whenever any
+// operation reports IsPowerLoss. The first error wins; a plan can cut power
+// again during replay, in which case a subsequent Recover resumes.
+func (s *ShardedDB) Recover() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard.Shard) {
+			defer wg.Done()
+			errs[i] = sh.Recover()
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ShardStats snapshots one shard's counters (for per-shard balance checks).

@@ -75,6 +75,23 @@ type AdaptiveStats struct {
 	Inline, PRP, Hybrid int64
 }
 
+// FaultStats count injected faults and the recovery work they triggered.
+// All-zero unless Config.Faults armed the injector.
+type FaultStats struct {
+	NandProgramFaults int64 // injected NAND program failures
+	NandReadFaults    int64 // injected NAND read failures
+	NandEraseFaults   int64 // injected NAND erase failures
+	TransferFaults    int64 // injected DMA transfer errors
+	BadBlocks         int64 // NAND blocks retired by the FTL
+	FTLRetries        int64 // FTL program redirect-retries after media faults
+	PowerCuts         int64 // power cuts taken by the device
+	Mounts            int64 // recovery mounts performed
+	ReplayedRecords   int64 // journal records replayed at mount
+	Retries           int64 // host re-submissions of retryable completions
+	RetriesExhausted  int64 // commands that failed every retry
+	Recoveries        int64 // host-initiated Recover calls
+}
+
 // Stats is a point-in-time snapshot of everything the paper measures,
 // grouped by where it is measured.
 type Stats struct {
@@ -82,6 +99,7 @@ type Stats struct {
 	PCIe     PCIeStats
 	Device   DeviceStats
 	Adaptive AdaptiveStats
+	Faults   FaultStats
 }
 
 // Stats snapshots the current counters.
@@ -138,6 +156,20 @@ func stackStats(st *shard.Stack) Stats {
 			PRP:    ds.PRPChosen.Value(),
 			Hybrid: ds.HybridChosen.Value(),
 		},
+		Faults: FaultStats{
+			NandProgramFaults: fs.ProgramFaults.Value(),
+			NandReadFaults:    fs.ReadFaults.Value(),
+			NandEraseFaults:   fs.EraseFaults.Value(),
+			TransferFaults:    es.TransferFaults.Value(),
+			BadBlocks:         st.Dev.FTL().Stats().BadBlocks.Value(),
+			FTLRetries:        st.Dev.FTL().Stats().ProgramFaults.Value(),
+			PowerCuts:         st.Dev.Stats().PowerCuts.Value(),
+			Mounts:            st.Dev.Stats().Mounts.Value(),
+			ReplayedRecords:   st.Dev.Stats().ReplayedRecords.Value(),
+			Retries:           ds.Retries.Value(),
+			RetriesExhausted:  ds.RetriesExhausted.Value(),
+			Recoveries:        ds.Recoveries.Value(),
+		},
 	}
 	if elapsed > 0 && s.Host.Puts > 0 {
 		s.Host.ThroughputKops = float64(s.Host.Puts) / elapsed.Seconds() / 1000
@@ -191,6 +223,35 @@ var seriesDescs = []timeseries.Desc{
 	gauge("wire_utilization", timeseries.AggMean, "Fraction of simulated time the PCIe wire was busy."),
 }
 
+// faultDescs extend seriesDescs when Config.Faults arms the injector. They
+// are appended only then, so fault-free runs keep byte-identical exporter
+// output (the golden-smoke guarantee).
+var faultDescs = []timeseries.Desc{
+	counter("fault_nand_program", "Injected NAND program failures."),
+	counter("fault_nand_read", "Injected NAND read failures."),
+	counter("fault_nand_erase", "Injected NAND erase failures."),
+	counter("fault_dma_transfer", "Injected DMA transfer errors."),
+	counter("ftl_bad_blocks", "NAND blocks retired by the FTL."),
+	counter("ftl_program_retries", "FTL program redirect-retries after media faults."),
+	counter("device_power_cuts", "Power cuts taken by the device."),
+	counter("device_mounts", "Recovery mounts performed."),
+	counter("device_replayed_records", "Journal records replayed at mount."),
+	counter("host_retries", "Host re-submissions of retryable completions."),
+	counter("host_retries_exhausted", "Commands that failed every retry."),
+	counter("host_recoveries", "Host-initiated recoveries."),
+}
+
+// descsFor returns the sampler/exporter column set: the base descriptors,
+// plus the fault columns when the injector is armed.
+func descsFor(faults bool) []timeseries.Desc {
+	if !faults {
+		return seriesDescs
+	}
+	out := make([]timeseries.Desc, 0, len(seriesDescs)+len(faultDescs))
+	out = append(out, seriesDescs...)
+	return append(out, faultDescs...)
+}
+
 // histHelp supplies Prometheus HELP text per histogram family.
 var histHelp = map[string]string{
 	"write_response_ns":      "Simulated PUT response time, ns.",
@@ -203,7 +264,7 @@ var histHelp = map[string]string{
 // snapshot: the flattened Stats tree, the Inspect-style gauges, and clones
 // of every latency histogram. Values are built in seriesDescs order. The
 // caller must hold whatever serializes access to the stack.
-func snapshotStack(st *shard.Stack) timeseries.Snapshot {
+func snapshotStack(st *shard.Stack, faults bool) timeseries.Snapshot {
 	s := stackStats(st)
 	buf := st.Dev.Buffer()
 	now := st.Clock.Now()
@@ -240,6 +301,22 @@ func snapshotStack(st *shard.Stack) timeseries.Snapshot {
 		float64(st.Dev.VLog().FreeBytes()),
 		float64(st.Dev.Flash().MaxWear()),
 		st.Link.WireUtilization(now),
+	}
+	if faults {
+		values = append(values,
+			float64(s.Faults.NandProgramFaults),
+			float64(s.Faults.NandReadFaults),
+			float64(s.Faults.NandEraseFaults),
+			float64(s.Faults.TransferFaults),
+			float64(s.Faults.BadBlocks),
+			float64(s.Faults.FTLRetries),
+			float64(s.Faults.PowerCuts),
+			float64(s.Faults.Mounts),
+			float64(s.Faults.ReplayedRecords),
+			float64(s.Faults.Retries),
+			float64(s.Faults.RetriesExhausted),
+			float64(s.Faults.Recoveries),
+		)
 	}
 	ds := st.Drv.Stats()
 	hists := []timeseries.Hist{
