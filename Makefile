@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-shards bench-smoke smoke golden modelcheck fuzz-smoke ci
+.PHONY: all build test race vet fmt bench bench-shards bench-server bench-smoke smoke golden server-smoke modelcheck fuzz-smoke ci
 
 all: build
 
@@ -30,6 +30,11 @@ bench:
 bench-shards:
 	$(GO) run ./cmd/bandslim-bench -experiment shards -scale 20000 -json results
 
+# Regenerate the RESP serving loadgen artifact: conns × pipeline-depth
+# sweep over loopback (results/BENCH_server.json).
+bench-server:
+	$(GO) run ./cmd/bandslim-bench -experiment server -scale 20000 -seed 42 -json results
+
 # One-iteration pass over every benchmark: catches bit-rot in bench code
 # without paying for a measurement run.
 bench-smoke:
@@ -51,16 +56,24 @@ golden:
 	$(GO) run ./cmd/bandslim-bench $(SMOKE_FLAGS) -metrics-out results/golden/bench_smoke.prom -series-out .smoke.csv
 	rm -f .smoke.csv
 
+# Server smoke: boot bandslim-server on a loopback port, drive
+# PING/SET/GET/DEL/INFO through a real client connection, and require a
+# clean drain — the end-to-end check on the RESP front-end.
+server-smoke:
+	$(GO) run ./cmd/bandslim-server -smoke -quiet
+
 # Model-based differential harness + crash-consistency sweep: 1000+ seeded
 # op sequences against an in-memory reference model, with and without fault
 # plans, plus a power cut at every command boundary of a fixed workload.
 modelcheck:
 	$(GO) test -run 'TestModelCheck|TestCrashSweep|TestFaultRaceSharded' -count=1 -timeout 600s .
 
-# Short fixed-budget fuzz pass over the fault-plan parser and the journal
-# decoder/replayer, seeded from the committed testdata corpora.
+# Short fixed-budget fuzz pass over the fault-plan parser, the journal
+# decoder/replayer, and the RESP command parser, seeded from the committed
+# testdata corpora.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParsePlan -fuzztime=5s ./internal/fault
 	$(GO) test -run=NONE -fuzz=FuzzJournalReplay -fuzztime=5s ./internal/device
+	$(GO) test -run=NONE -fuzz=FuzzRESPParse -fuzztime=5s ./internal/resp
 
-ci: build vet test race smoke bench-smoke modelcheck fuzz-smoke
+ci: build vet test race smoke bench-smoke server-smoke modelcheck fuzz-smoke

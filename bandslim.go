@@ -333,6 +333,42 @@ func (db *DB) GetBatch(keys, vals [][]byte) ([][]byte, error) {
 	return vals, nil
 }
 
+// GetBatchSparse resolves keys in bulk like GetBatch, but a missing key sets
+// miss[i] (leaving vals[i] empty) instead of failing the whole batch. miss
+// must have len(keys) entries. This is the lookup MGET rides: absent keys
+// become null replies, not errors.
+func (db *DB) GetBatchSparse(keys, vals [][]byte, miss []bool) ([][]byte, error) {
+	if vals == nil {
+		vals = make([][]byte, len(keys))
+	}
+	if len(vals) != len(keys) || len(miss) != len(keys) {
+		return vals, fmt.Errorf("bandslim: GetBatchSparse got %d keys, %d dst lanes, %d miss flags",
+			len(keys), len(vals), len(miss))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return vals, ErrClosed
+	}
+	for i := range keys {
+		v, err := db.st.Drv.Get(keys[i])
+		if err != nil {
+			if IsNotFound(err) {
+				miss[i] = true
+				vals[i] = vals[i][:0]
+				db.poll()
+				continue
+			}
+			db.poll()
+			return vals, err
+		}
+		miss[i] = false
+		vals[i] = append(vals[i][:0], v...)
+		db.poll()
+	}
+	return vals, nil
+}
+
 // Delete removes a key.
 func (db *DB) Delete(key []byte) error {
 	db.mu.Lock()

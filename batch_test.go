@@ -158,6 +158,72 @@ func TestBatchArgumentErrors(t *testing.T) {
 	}
 }
 
+// TestGetBatchSparse checks the miss-tolerant batch lookup on both
+// front-ends: present keys copy into their lanes, absent keys set miss[i]
+// with an empty lane, and no error is raised for the misses.
+func TestGetBatchSparse(t *testing.T) {
+	db, err := bandslim.Open(bandslim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s, err := bandslim.OpenSharded(bandslim.ShardedConfig{Shards: 4, PerShard: bandslim.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	keys, values := batchKV(64)
+	if err := db.PutBatch(keys, values); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutBatch(keys, values); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interleave present and absent keys.
+	probe := make([][]byte, 0, len(keys)*2)
+	wantMiss := make([]bool, 0, len(keys)*2)
+	for i := range keys {
+		probe = append(probe, keys[i])
+		wantMiss = append(wantMiss, false)
+		if i%3 == 0 {
+			probe = append(probe, []byte(fmt.Sprintf("absent%04d", i)))
+			wantMiss = append(wantMiss, true)
+		}
+	}
+	check := func(name string, get func(keys, vals [][]byte, miss []bool) ([][]byte, error)) {
+		t.Helper()
+		miss := make([]bool, len(probe))
+		got, err := get(probe, nil, miss)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		vi := 0
+		for i := range probe {
+			if miss[i] != wantMiss[i] {
+				t.Fatalf("%s: key %q miss=%v, want %v", name, probe[i], miss[i], wantMiss[i])
+			}
+			if wantMiss[i] {
+				if len(got[i]) != 0 {
+					t.Fatalf("%s: absent key %q got %d bytes", name, probe[i], len(got[i]))
+				}
+				continue
+			}
+			if !bytes.Equal(got[i], values[vi]) {
+				t.Fatalf("%s: key %q value mismatch", name, probe[i])
+			}
+			vi++
+		}
+		// Mismatched miss length is an argument error.
+		if _, err := get(probe, nil, make([]bool, 1)); err == nil {
+			t.Fatalf("%s: accepted short miss slice", name)
+		}
+	}
+	check("DB", db.GetBatchSparse)
+	check("ShardedDB", s.GetBatchSparse)
+}
+
 // TestBatchPathDeterminism replays the same batched workload twice and
 // requires byte-identical exported metrics: the batch fast path must not
 // introduce any run-to-run nondeterminism into simulated time.

@@ -6,6 +6,7 @@
 //	bandslim-bench -experiment fig8 [-scale 20000] [-seed 42] [-csv out/]
 //	bandslim-bench -experiment shards [-shards 1,2,4,8] [-json out/]
 //	bandslim-bench -experiment hotpath [-scale 40000] [-json out/]
+//	bandslim-bench -experiment server [-scale 20000] [-shards 4] [-json out/]
 //	bandslim-bench -experiment all
 //	bandslim-bench -trace out.json [-shards 4]
 //	bandslim-bench -metrics-out out.prom -series-out series.csv [-shards 4] [-listen :9090]
@@ -142,6 +143,15 @@ func parseShards(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// serverShards picks the shard count for the server sweep: the first entry
+// of -shards, defaulting to 4.
+func serverShards(counts []int) int {
+	if len(counts) > 0 {
+		return counts[0]
+	}
+	return 4
 }
 
 func main() {
@@ -288,6 +298,37 @@ func main() {
 			fmt.Printf("  %s: %.2fx\n", k, report.Speedup[k])
 		}
 		fmt.Printf("hotpath experiment completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *experiment == "server" {
+		start := time.Now()
+		t, points, err := bench.RunServerSweep(opts, serverShards(counts), nil, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+		raw, err := bench.ServerSweepJSON(points)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		dir := *jsonDir
+		if dir == "" {
+			dir = "."
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(dir, "BENCH_server.json")
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+		fmt.Printf("server experiment completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

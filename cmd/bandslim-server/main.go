@@ -1,0 +1,217 @@
+// Command bandslim-server serves a simulated BandSlim KV-SSD over TCP,
+// speaking a RESP2-compatible subset so redis-cli and standard Redis load
+// generators work unmodified:
+//
+//	bandslim-server -addr :6379 -shards 4
+//	redis-cli -p 6379 SET mykey myvalue
+//	redis-cli -p 6379 GET mykey
+//	redis-cli -p 6379 INFO
+//
+// Supported commands: PING, ECHO, SET, GET, DEL, MSET, MGET, SCAN, INFO,
+// SHUTDOWN, QUIT (plus COMMAND and SELECT for client handshakes). Pipelined
+// commands are coalesced per event-loop tick onto the sharded batch path;
+// per-connection in-flight windows (-window) bound memory and push
+// backpressure onto clients through TCP flow control.
+//
+// Clocking is hybrid: the network edge runs on the wall clock while the
+// simulated device advances its own virtual clock. -metrics-listen serves
+// a combined /metrics exposition carrying both timebases.
+//
+// SIGINT/SIGTERM (or the SHUTDOWN command) stop accepting, drain in-flight
+// commands, close every connection, and then close the DB.
+//
+// -smoke runs a self-test instead of serving: start the server on a
+// loopback port, drive PING/SET/GET/DEL/INFO through a client connection,
+// shut down cleanly, and exit non-zero on any mismatch.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bandslim"
+	"bandslim/internal/resp"
+	"bandslim/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":6379", "TCP listen address")
+		shards        = flag.Int("shards", 4, "simulated device shards")
+		window        = flag.Int("window", server.DefaultWindow, "per-connection in-flight command window")
+		method        = flag.String("method", "adaptive", "transfer method: baseline|piggyback|hybrid|adaptive")
+		metricsListen = flag.String("metrics-listen", "", "serve /metrics on this address (empty: off)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight commands at shutdown")
+		smoke         = flag.Bool("smoke", false, "run a loopback self-test and exit")
+		quiet         = flag.Bool("quiet", false, "suppress lifecycle logging")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *shards, *window, *method, *metricsListen, *drainTimeout, *smoke, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "bandslim-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseMethod maps the -method flag to a transfer method.
+func parseMethod(name string) (bandslim.TransferMethod, error) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return bandslim.Baseline, nil
+	case "piggyback":
+		return bandslim.Piggyback, nil
+	case "hybrid":
+		return bandslim.Hybrid, nil
+	case "adaptive":
+		return bandslim.Adaptive, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", name)
+}
+
+func run(addr string, shards, window int, method, metricsListen string, drainTimeout time.Duration, smoke, quiet bool) error {
+	m, err := parseMethod(method)
+	if err != nil {
+		return err
+	}
+	cfg := bandslim.DefaultConfig()
+	cfg.Method = m
+	db, err := bandslim.OpenSharded(bandslim.ShardedConfig{Shards: shards, PerShard: cfg})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	logf := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv, err := server.New(server.Config{DB: db, Window: window, Logf: logf})
+	if err != nil {
+		return err
+	}
+
+	if smoke {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+
+	var msrv *http.Server
+	if metricsListen != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := srv.WriteMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		msrv = &http.Server{Addr: metricsListen, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logf("bandslim-server: metrics listener: %v", err)
+			}
+		}()
+		defer msrv.Close()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	if smoke {
+		err := runSmoke(ln.Addr().String())
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if serr := srv.Shutdown(ctx); err == nil {
+			err = serr
+		}
+		if serr := <-serveErr; err == nil {
+			err = serr
+		}
+		if err == nil {
+			fmt.Println("server smoke: ok")
+		}
+		return err
+	}
+
+	// Serve until a signal or the SHUTDOWN command stops us.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		logf("bandslim-server: %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-serveErr
+	case err := <-serveErr:
+		// Serve returned on its own: accept failure, or SHUTDOWN command
+		// (which runs the drain itself before Serve returns).
+		return err
+	}
+}
+
+// runSmoke drives one client session over loopback and checks every reply.
+func runSmoke(addr string) error {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	r, w := resp.NewReader(nc), resp.NewWriter(nc)
+	do := func(args ...string) (resp.Reply, error) {
+		w.Array(len(args))
+		for _, a := range args {
+			w.BulkString(a)
+		}
+		if err := w.Flush(); err != nil {
+			return resp.Reply{}, err
+		}
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		return r.ReadReply()
+	}
+	expect := func(check func(resp.Reply) bool, args ...string) error {
+		rep, err := do(args...)
+		if err != nil {
+			return fmt.Errorf("%v: %w", args, err)
+		}
+		if !check(rep) {
+			return fmt.Errorf("%v: unexpected reply %+v (%q)", args, rep, rep.Str)
+		}
+		return nil
+	}
+	simple := func(want string) func(resp.Reply) bool {
+		return func(rep resp.Reply) bool { return rep.Kind == resp.KindSimple && string(rep.Str) == want }
+	}
+	bulk := func(want string) func(resp.Reply) bool {
+		return func(rep resp.Reply) bool { return rep.Kind == resp.KindBulk && !rep.Null && string(rep.Str) == want }
+	}
+	steps := []error{
+		expect(simple("PONG"), "PING"),
+		expect(simple("OK"), "SET", "smoke-key", "smoke-value"),
+		expect(bulk("smoke-value"), "GET", "smoke-key"),
+		expect(func(rep resp.Reply) bool { return rep.Kind == resp.KindBulk && rep.Null }, "GET", "no-such-key"),
+		expect(func(rep resp.Reply) bool { return rep.Kind == resp.KindInteger && rep.Int == 1 }, "DEL", "smoke-key"),
+		expect(func(rep resp.Reply) bool {
+			return rep.Kind == resp.KindBulk && strings.Contains(string(rep.Str), "sim_time_ns:")
+		}, "INFO"),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bandslim"
+	"bandslim/internal/metrics"
+	"bandslim/internal/resp"
+	"bandslim/internal/server"
+)
+
+// ServerPoint is one conns×depth serving measurement, shaped for
+// BENCH_server.json. Latencies are wall-clock client-side round trips —
+// unlike the simulated metrics, they depend on the host machine; the sweep
+// exists to show throughput scaling with pipeline depth, not absolute
+// numbers.
+type ServerPoint struct {
+	Conns      int     `json:"conns"`
+	Depth      int     `json:"depth"`
+	Ops        int64   `json:"ops"`
+	WallMillis float64 `json:"wall_ms"`
+	WallKops   float64 `json:"wall_kops"`
+	P50Us      float64 `json:"p50_us"`
+	P99Us      float64 `json:"p99_us"`
+	Stalls     int64   `json:"backpressure_stalls"`
+	SimPuts    int64   `json:"sim_puts"`
+	SimGets    int64   `json:"sim_gets"`
+}
+
+// ServerSweepJSON renders the points as indented JSON for BENCH_server.json.
+func ServerSweepJSON(points []ServerPoint) ([]byte, error) {
+	return json.MarshalIndent(points, "", "  ")
+}
+
+// serverClient drives one pipelined connection: batches of depth commands
+// (alternating SET and GET over a small per-client keyspace), one flush per
+// batch, replies checked and latency-stamped as they arrive.
+func serverClient(addr string, id, ops, depth int, lat *metrics.Histogram) error {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	r, w := resp.NewReader(nc), resp.NewWriter(nc)
+
+	value := make([]byte, 128)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	key := func(i int) []byte {
+		return fmt.Appendf(nil, "lg%02dk%03d", id, i%256)
+	}
+	// Seed the keyspace so GETs always hit.
+	for i := 0; i < 256 && i < ops; i++ {
+		w.Command([]byte("SET"), key(i), value)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	for i := 0; i < 256 && i < ops; i++ {
+		if _, err := r.ReadReply(); err != nil {
+			return err
+		}
+	}
+
+	sent := 0
+	for sent < ops {
+		n := depth
+		if rest := ops - sent; rest < n {
+			n = rest
+		}
+		for i := 0; i < n; i++ {
+			if (sent+i)%2 == 0 {
+				w.Command([]byte("SET"), key(sent+i), value)
+			} else {
+				w.Command([]byte("GET"), key(sent+i))
+			}
+		}
+		start := time.Now()
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			rep, err := r.ReadReply()
+			if err != nil {
+				return err
+			}
+			if rep.Kind == resp.KindError {
+				return fmt.Errorf("server error reply: %s", rep.Str)
+			}
+			lat.Observe(float64(time.Since(start).Nanoseconds()))
+		}
+		sent += n
+	}
+	return nil
+}
+
+// runServerPoint serves a fresh sharded stack on loopback and drives it with
+// conns pipelined clients of the given depth.
+func runServerPoint(o Options, shards, conns, depth int) (ServerPoint, error) {
+	cfg := bandslim.DefaultConfig()
+	cfg.Method = bandslim.Adaptive
+	db, err := bandslim.OpenSharded(bandslim.ShardedConfig{Shards: shards, PerShard: cfg})
+	if err != nil {
+		return ServerPoint{}, err
+	}
+	defer db.Close()
+	srv, err := server.New(server.Config{DB: db})
+	if err != nil {
+		return ServerPoint{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServerPoint{}, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-serveErr
+	}
+
+	perConn := o.Scale / conns
+	if perConn < 1 {
+		perConn = 1
+	}
+	hists := make([]*metrics.Histogram, conns)
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < conns; g++ {
+		hists[g] = metrics.NewHistogram()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = serverClient(ln.Addr().String(), g, perConn, depth, hists[g])
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			shutdown()
+			return ServerPoint{}, fmt.Errorf("bench: server conns=%d depth=%d: %w", conns, depth, err)
+		}
+	}
+	st := srv.Stats()
+	sim := db.Stats()
+	if err := shutdown(); err != nil {
+		return ServerPoint{}, err
+	}
+
+	merged := hists[0]
+	for _, h := range hists[1:] {
+		merged.Merge(h)
+	}
+	ops := int64(perConn * conns)
+	return ServerPoint{
+		Conns:      conns,
+		Depth:      depth,
+		Ops:        ops,
+		WallMillis: float64(wall.Microseconds()) / 1000,
+		WallKops:   float64(ops) / wall.Seconds() / 1000,
+		P50Us:      merged.P50() / 1000,
+		P99Us:      merged.P99() / 1000,
+		Stalls:     st.Stalls,
+		SimPuts:    sim.Host.Puts,
+		SimGets:    sim.Host.Gets,
+	}, nil
+}
+
+// RunServerSweep measures the serving front-end over loopback across
+// connection counts and pipeline depths: a 50/50 SET/GET mix, one fresh
+// server per point. Throughput should rise with depth as coalescing hands
+// bigger bursts to the batch path; the stall column shows backpressure
+// engaging once the pipeline outruns the in-flight window.
+func RunServerSweep(o Options, shards int, conns, depths []int) (*Table, []ServerPoint, error) {
+	o = o.normalized()
+	if shards < 1 {
+		shards = 4
+	}
+	if len(conns) == 0 {
+		conns = []int{1, 4}
+	}
+	if len(depths) == 0 {
+		depths = []int{1, 8, 64}
+	}
+	t := &Table{
+		ID: "server", Title: "RESP Serving: Loopback Throughput vs Pipeline Depth",
+		XLabel:  "conns x depth",
+		Columns: []string{"wall_kops", "p50_us", "p99_us", "stalls"},
+		Notes: []string{
+			fmt.Sprintf("scale=%d ops per point split across conns, 50/50 SET/GET, 128 B values, %d shards", o.Scale, shards),
+			"wall-clock numbers are host-machine dependent; shapes (scaling with depth) are the signal",
+		},
+	}
+	var points []ServerPoint
+	for _, c := range conns {
+		if c < 1 {
+			return nil, nil, fmt.Errorf("bench: conns must be >= 1, got %d", c)
+		}
+		for _, d := range depths {
+			if d < 1 {
+				return nil, nil, fmt.Errorf("bench: depth must be >= 1, got %d", d)
+			}
+			p, err := runServerPoint(o, shards, c, d)
+			if err != nil {
+				return nil, nil, err
+			}
+			points = append(points, p)
+			t.AddRow(fmt.Sprintf("%dx%d", c, d), p.WallKops, p.P50Us, p.P99Us, float64(p.Stalls))
+		}
+	}
+	return t, points, nil
+}

@@ -107,6 +107,7 @@ const (
 	opNext
 	opPutBatch
 	opGetBatch
+	opGetBatchSparse
 	opGetTime
 )
 
@@ -120,6 +121,7 @@ type call struct {
 	key, value []byte   // scalar inputs; value doubles as the GetInto dst
 	keys, vals [][]byte // batch inputs; vals holds GetBatch dst lanes
 	lane       []int    // batch indices this shard owns (nil = all)
+	miss       []bool   // sparse-batch not-found flags, parallel to keys
 
 	rkey, rvalue []byte // scalar outputs (views or grown dst)
 	n            int    // batch record count
@@ -135,6 +137,7 @@ func (c *call) reset() {
 	c.fn = nil
 	c.key, c.value = nil, nil
 	c.keys, c.vals, c.lane = nil, nil, nil
+	c.miss = nil
 	c.rkey, c.rvalue = nil, nil
 	c.err = nil
 	c.n = 0
@@ -218,6 +221,9 @@ func (s *Shard) run(c *call) {
 	case opGetBatch:
 		c.n, c.err = s.runGetBatch(c.keys, c.vals, c.lane)
 		return
+	case opGetBatchSparse:
+		c.n, c.err = s.runGetBatchSparse(c.keys, c.vals, c.miss, c.lane)
+		return
 	case opGetTime:
 		c.t = s.stack.Clock.Now()
 		return
@@ -272,6 +278,47 @@ func (s *Shard) runGetBatch(keys, vals [][]byte, lane []int) (int, error) {
 		if err != nil {
 			return err
 		}
+		vals[i] = append(vals[i][:0], v...)
+		n++
+		s.opDone()
+		return nil
+	}
+	if lane == nil {
+		for i := range keys {
+			if err := get(i); err != nil {
+				return n, err
+			}
+		}
+	} else {
+		for _, i := range lane {
+			if err := get(i); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// runGetBatchSparse resolves this shard's lane of keys like runGetBatch, but
+// tolerates absent keys: a key-not-found completion sets miss[i] and empties
+// the dst lane instead of failing the batch — the semantics a serving
+// front-end needs for MGET and coalesced GET runs, where a miss is an answer
+// ("no such key"), not an error.
+func (s *Shard) runGetBatchSparse(keys, vals [][]byte, miss []bool, lane []int) (int, error) {
+	n := 0
+	get := func(i int) error {
+		v, err := s.stack.Drv.Get(keys[i])
+		if err != nil {
+			if st, ok := nvme.StatusOf(err); ok && st == nvme.StatusKeyNotFound {
+				miss[i] = true
+				vals[i] = vals[i][:0]
+				n++
+				s.opDone()
+				return nil
+			}
+			return err
+		}
+		miss[i] = false
 		vals[i] = append(vals[i][:0], v...)
 		n++
 		s.opDone()
@@ -461,6 +508,25 @@ func (s *Shard) StartGetBatch(keys, vals [][]byte, lane []int) Pending {
 	c := &s.call
 	c.kind = opGetBatch
 	c.keys, c.vals, c.lane = keys, vals, lane
+	s.reqs <- c
+	return Pending{s: s}
+}
+
+// GetBatchSparse resolves the lane-indexed subset of keys like GetBatch, but
+// an absent key sets miss[i] (and empties vals[i]) instead of failing the
+// batch. It reports how many lanes were resolved (hits plus misses).
+func (s *Shard) GetBatchSparse(keys, vals [][]byte, miss []bool, lane []int) (int, error) {
+	return s.StartGetBatchSparse(keys, vals, miss, lane).Wait()
+}
+
+// StartGetBatchSparse enqueues a GetBatchSparse without waiting; see
+// StartPutBatch.
+func (s *Shard) StartGetBatchSparse(keys, vals [][]byte, miss []bool, lane []int) Pending {
+	s.mu.Lock()
+	c := &s.call
+	c.kind = opGetBatchSparse
+	c.keys, c.vals, c.lane = keys, vals, lane
+	c.miss = miss
 	s.reqs <- c
 	return Pending{s: s}
 }

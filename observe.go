@@ -127,6 +127,16 @@ func (db *DB) WritePrometheus(w io.Writer) error {
 	return timeseries.WritePrometheus(w, "bandslim", descsFor(faults), snap, histHelp)
 }
 
+// WriteServerPrometheus writes a network front-end's counters in the
+// Prometheus text exposition format. The server_* families are disjoint from
+// the simulation families, so a serving process can concatenate this after
+// DB.WritePrometheus to form one valid exposition; embedded runs that never
+// call it keep byte-identical exporter output.
+func WriteServerPrometheus(w io.Writer, s ServerStats) error {
+	snap := timeseries.Snapshot{Values: serverSnapshotValues(s)}
+	return timeseries.WritePrometheus(w, "bandslim", serverDescs, snap, nil)
+}
+
 // WriteSeriesCSV writes a metric series as one CSV table: a t_us time axis,
 // every scalar column, per-counter _per_sec rate columns, and
 // count/mean/p50/p99 columns per latency distribution — the same shape the

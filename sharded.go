@@ -300,6 +300,45 @@ func (s *ShardedDB) GetBatch(keys, vals [][]byte) ([][]byte, error) {
 	return vals, first
 }
 
+// GetBatchSparse resolves keys in bulk like GetBatch, but an absent key sets
+// miss[i] (and empties its vals lane) instead of failing the batch — the
+// lookup the serving front-end rides for MGET and coalesced GET runs, where
+// a miss must become a null reply, not a connection error. miss must have
+// len(keys) entries; hits copy into caller-owned vals lanes exactly as
+// GetBatch does, so reusing keys/vals/miss keeps the steady state
+// allocation-free.
+func (s *ShardedDB) GetBatchSparse(keys, vals [][]byte, miss []bool) ([][]byte, error) {
+	if vals == nil {
+		vals = make([][]byte, len(keys))
+	}
+	if len(vals) != len(keys) || len(miss) != len(keys) {
+		return vals, fmt.Errorf("bandslim: GetBatchSparse got %d keys, %d dst lanes, %d miss flags",
+			len(keys), len(vals), len(miss))
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return vals, ErrClosed
+	}
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	s.partitionLanes(keys)
+	s.pending = s.pending[:0]
+	for i, lane := range s.lanes {
+		if len(lane) == 0 {
+			continue
+		}
+		s.pending = append(s.pending, s.shards[i].StartGetBatchSparse(keys, vals, miss, lane))
+	}
+	var first error
+	for _, p := range s.pending {
+		if _, err := p.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return vals, first
+}
+
 // Delete removes a key from its shard.
 func (s *ShardedDB) Delete(key []byte) error {
 	s.mu.RLock()
@@ -674,6 +713,7 @@ type coreKV interface {
 	GetInto(key, dst []byte) ([]byte, error)
 	PutBatch(keys, values [][]byte) error
 	GetBatch(keys, vals [][]byte) ([][]byte, error)
+	GetBatchSparse(keys, vals [][]byte, miss []bool) ([][]byte, error)
 	Delete(key []byte) error
 	Flush() error
 	Close() error

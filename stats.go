@@ -92,6 +92,24 @@ type FaultStats struct {
 	Recoveries        int64 // host-initiated Recover calls
 }
 
+// ServerStats count the network front-end's activity: connections, commands
+// by opcode, backpressure stalls, and wire bytes. All-zero unless a serving
+// process (internal/server) is attached; the simulation core never writes
+// these.
+type ServerStats struct {
+	Accepted int64 // connections accepted since start
+	Active   int64 // connections currently open
+
+	// Commands dispatched, by opcode. Other counts unrecognized commands
+	// (each also answered with a RESP error).
+	Ping, Set, Get, Del, MSet, MGet, Scan, Info, Shutdown, Other int64
+
+	Errors   int64 // RESP error replies written
+	Stalls   int64 // backpressure stalls: reader blocked on a full in-flight window
+	BytesIn  int64 // bytes read off client sockets
+	BytesOut int64 // bytes written to client sockets
+}
+
 // Stats is a point-in-time snapshot of everything the paper measures,
 // grouped by where it is measured.
 type Stats struct {
@@ -100,6 +118,7 @@ type Stats struct {
 	Device   DeviceStats
 	Adaptive AdaptiveStats
 	Faults   FaultStats
+	Server   ServerStats
 }
 
 // Stats snapshots the current counters.
@@ -239,6 +258,51 @@ var faultDescs = []timeseries.Desc{
 	counter("host_retries", "Host re-submissions of retryable completions."),
 	counter("host_retries_exhausted", "Commands that failed every retry."),
 	counter("host_recoveries", "Host-initiated recoveries."),
+}
+
+// serverDescs declare the network front-end's scalar metrics. Like
+// faultDescs they ride a separate exposition (WriteServerPrometheus, written
+// only by a serving process), so embedded and simulation-only runs keep
+// byte-identical exporter output.
+var serverDescs = []timeseries.Desc{
+	counter("server_conns_accepted", "Client connections accepted."),
+	gauge("server_conns_active", timeseries.AggSum, "Client connections currently open."),
+	counter("server_cmd_ping", "PING commands served."),
+	counter("server_cmd_set", "SET commands served."),
+	counter("server_cmd_get", "GET commands served."),
+	counter("server_cmd_del", "DEL commands served."),
+	counter("server_cmd_mset", "MSET commands served."),
+	counter("server_cmd_mget", "MGET commands served."),
+	counter("server_cmd_scan", "SCAN commands served."),
+	counter("server_cmd_info", "INFO commands served."),
+	counter("server_cmd_shutdown", "SHUTDOWN commands served."),
+	counter("server_cmd_other", "Unrecognized commands (answered with an error)."),
+	counter("server_errors", "RESP error replies written."),
+	counter("server_backpressure_stalls", "Reader stalls on a full in-flight window."),
+	counter("server_bytes_in", "Bytes read off client sockets."),
+	counter("server_bytes_out", "Bytes written to client sockets."),
+}
+
+// serverSnapshotValues flattens a ServerStats in serverDescs order.
+func serverSnapshotValues(s ServerStats) []float64 {
+	return []float64{
+		float64(s.Accepted),
+		float64(s.Active),
+		float64(s.Ping),
+		float64(s.Set),
+		float64(s.Get),
+		float64(s.Del),
+		float64(s.MSet),
+		float64(s.MGet),
+		float64(s.Scan),
+		float64(s.Info),
+		float64(s.Shutdown),
+		float64(s.Other),
+		float64(s.Errors),
+		float64(s.Stalls),
+		float64(s.BytesIn),
+		float64(s.BytesOut),
+	}
 }
 
 // descsFor returns the sampler/exporter column set: the base descriptors,
