@@ -35,6 +35,12 @@ const (
 	MaxArgs = 1024
 	// MaxBulk caps one bulk-string payload.
 	MaxBulk = 8 << 20
+	// MaxCommand caps one whole multibulk command's accumulated payload.
+	// ReadCommand keeps the entire command resident until it is parsed, so
+	// without this cap a hostile peer could stack MaxArgs×MaxBulk declared
+	// bulks into one command and balloon the read buffer toward gigabytes;
+	// with it, per-connection buffer growth is bounded by a few MaxBulk.
+	MaxCommand = 4 * MaxBulk
 	// maxInline caps one inline command line (also the line cap for array
 	// and bulk headers, which are far shorter).
 	maxInline = 64 << 10
@@ -257,13 +263,14 @@ func (r *Reader) ReadCommand() ([][]byte, error) {
 		return nil, protoErr("invalid multibulk length")
 	}
 	r.spans = r.spans[:0]
+	var total int64 // declared payload bytes accumulated across the command
 	for i := int64(0); i < n; i++ {
 		c, err := r.peek()
 		if err != nil {
 			return nil, err
 		}
 		if c != '$' {
-			return nil, protoErr("expected '$', got '" + string(c) + "'")
+			return nil, protoErr("expected '$', got " + strconv.QuoteRune(rune(c)))
 		}
 		r.off++
 		header, err := r.readLine("bulk header")
@@ -276,6 +283,11 @@ func (r *Reader) ReadCommand() ([][]byte, error) {
 		}
 		if ln < 0 || ln > MaxBulk {
 			return nil, protoErr("invalid bulk length")
+		}
+		// Checked against the declared length before the payload is read, so
+		// the oversized bulk is rejected without buffering it.
+		if total += ln; total > MaxCommand {
+			return nil, protoErr("too big multibulk command")
 		}
 		sp, err := r.readSpan(int(ln))
 		if err != nil {
@@ -407,7 +419,7 @@ func (r *Reader) ReadReply() (Reply, error) {
 		}
 		return Reply{Kind: KindArray, N: int(n)}, nil
 	default:
-		return Reply{}, protoErr("unexpected reply byte '" + string(c) + "'")
+		return Reply{}, protoErr("unexpected reply byte " + strconv.QuoteRune(rune(c)))
 	}
 }
 
@@ -447,10 +459,19 @@ func (w *Writer) Simple(s string) {
 	w.crlf()
 }
 
-// Error writes an error reply: -msg\r\n.
+// Error writes an error reply: -msg\r\n. CR and LF inside msg become spaces
+// — error text can carry wrapped message bytes (a peeked protocol byte, an
+// OS error string), and a raw line break would split the reply into a
+// malformed extra line on the wire.
 func (w *Writer) Error(msg string) {
 	w.buf = append(w.buf, '-')
-	w.buf = append(w.buf, msg...)
+	for i := 0; i < len(msg); i++ {
+		ch := msg[i]
+		if ch == '\r' || ch == '\n' {
+			ch = ' '
+		}
+		w.buf = append(w.buf, ch)
+	}
 	w.crlf()
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"strconv"
 	"strings"
 	"testing"
 	"testing/iotest"
@@ -96,6 +97,66 @@ func TestReadCommandProtocolErrors(t *testing.T) {
 				t.Fatalf("error %q lacks redis-style prefix", err)
 			}
 		})
+	}
+}
+
+// TestReadCommandTotalSizeCap: the per-bulk and per-count limits alone still
+// let one command pin MaxArgs×MaxBulk in the read buffer, so the
+// whole-command cap must reject a command as soon as its declared payload
+// crosses MaxCommand — before buffering the offending bulk.
+func TestReadCommandTotalSizeCap(t *testing.T) {
+	payload := bytes.Repeat([]byte{'x'}, MaxBulk)
+	bulkHeader := "$" + strconv.Itoa(MaxBulk) + "\r\n"
+	parts := []io.Reader{strings.NewReader("*5\r\n")}
+	for i := 0; i < 4; i++ { // 4 × MaxBulk == MaxCommand: still legal
+		parts = append(parts,
+			strings.NewReader(bulkHeader),
+			bytes.NewReader(payload),
+			strings.NewReader("\r\n"))
+	}
+	// The fifth header pushes the declared total over the cap. Its payload is
+	// deliberately never supplied: the reader must fail on the declaration
+	// alone, or this test surfaces a non-protocol I/O error instead.
+	parts = append(parts, strings.NewReader(bulkHeader))
+	r := NewReader(io.MultiReader(parts...))
+	_, err := r.ReadCommand()
+	if !IsProtocol(err) {
+		t.Fatalf("err = %v, want protocol error", err)
+	}
+	if !strings.Contains(err.Error(), "too big multibulk command") {
+		t.Fatalf("err = %q, want whole-command size error", err)
+	}
+}
+
+// Protocol error text must stay single-line even when the offending byte is
+// CR or LF; a raw line break inside it would split the server's -ERR echo
+// into a malformed extra reply line.
+func TestProtocolErrorQuotesRawBytes(t *testing.T) {
+	for _, in := range []string{"*1\r\n\n", "*1\r\n\rjunk"} {
+		r := NewReader(strings.NewReader(in))
+		_, err := r.ReadCommand()
+		if !IsProtocol(err) {
+			t.Fatalf("input %q: err = %v, want protocol error", in, err)
+		}
+		if strings.ContainsAny(err.Error(), "\r\n") {
+			t.Fatalf("input %q: error text %q contains raw CR/LF", in, err.Error())
+		}
+	}
+	r := NewReader(strings.NewReader("\rX\r\n"))
+	if _, err := r.ReadReply(); !IsProtocol(err) || strings.ContainsAny(err.Error(), "\r\n") {
+		t.Fatalf("reply side: err = %v, want single-line protocol error", err)
+	}
+}
+
+func TestWriterErrorSanitizesCRLF(t *testing.T) {
+	var out bytes.Buffer
+	w := NewWriter(&out)
+	w.Error("ERR bad\r\nbyte")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.String(), "-ERR bad  byte\r\n"; got != want {
+		t.Fatalf("encoded %q, want %q", got, want)
 	}
 }
 

@@ -91,7 +91,7 @@ type Server struct {
 	done     chan struct{} // closed when shutdown begins
 	shutReq  chan struct{} // SHUTDOWN command -> background shutdown
 	shutOnce sync.Once
-	serveWG  sync.WaitGroup // accept loop + SHUTDOWN watcher
+	serveWG  sync.WaitGroup // SHUTDOWN command watcher
 
 	connMu sync.Mutex
 	conns  map[*conn]struct{}
@@ -160,7 +160,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.logf("server: listening on %s", ln.Addr())
 
 	// SHUTDOWN command watcher: runs the drain outside any connection
-	// goroutine so the issuing connection can be drained like the rest.
+	// goroutine so the issuing connection can be drained like the rest. It
+	// must call the internal shutdown with fromWatcher set: the exported
+	// Shutdown waits on serveWG, and the watcher's own Done only runs after
+	// the drain returns, so waiting here would deadlock on itself.
 	s.serveWG.Add(1)
 	go func() {
 		defer s.serveWG.Done()
@@ -168,7 +171,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		case <-s.shutReq:
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
-			s.Shutdown(ctx)
+			s.shutdown(ctx, true)
 		case <-s.done:
 		}
 	}()
@@ -184,12 +187,24 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 		}
 		s.accepted.Add(1)
-		s.active.Add(1)
 		c := newConn(s, nc)
+		// Register under connMu with a done check so a conn accepted just as
+		// the listener closed cannot slip in after Shutdown's deadline sweep:
+		// either it registers before the sweep (and gets swept), or it
+		// observes done closed here and is refused — never a reader that
+		// Shutdown does not know to kick, never a connWG.Add racing the Wait.
 		s.connMu.Lock()
+		select {
+		case <-s.done:
+			s.connMu.Unlock()
+			nc.Close()
+			continue
+		default:
+		}
 		s.conns[c] = struct{}{}
-		s.connMu.Unlock()
+		s.active.Add(1)
 		s.connWG.Add(1)
+		s.connMu.Unlock()
 		go c.serve()
 	}
 }
@@ -226,6 +241,15 @@ func (s *Server) beginShutdown() {
 // call concurrently and more than once; the DB itself is left open for the
 // owner to close.
 func (s *Server) Shutdown(ctx context.Context) error {
+	return s.shutdown(ctx, false)
+}
+
+// shutdown is the drain body behind Shutdown. fromWatcher marks the call
+// made from the SHUTDOWN command watcher goroutine, which must not wait on
+// serveWG: the watcher's own Done runs only after this returns, so waiting
+// would self-deadlock, leak the watcher, and wedge every later external
+// Shutdown on the same Wait.
+func (s *Server) shutdown(ctx context.Context, fromWatcher bool) error {
 	s.shutOnce.Do(func() {
 		close(s.done)
 		if s.ln != nil {
@@ -257,7 +281,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-waited
 		err = ctx.Err()
 	}
-	s.serveWG.Wait()
+	if !fromWatcher {
+		s.serveWG.Wait()
+	}
 	s.logf("server: shut down (%d connections served)", s.accepted.Load())
 	return err
 }

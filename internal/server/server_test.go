@@ -474,8 +474,13 @@ func TestLateRequestsGetCleanError(t *testing.T) {
 	c.expectSimple("PONG", "PING")
 }
 
-// TestShutdownCommand drives the whole stop path over the wire.
+// TestShutdownCommand drives the whole stop path over the wire, then proves
+// the watcher-driven drain leaves the server externally stoppable: a later
+// Shutdown call must return instead of deadlocking on the watcher's own
+// WaitGroup slot, and no server goroutine may outlive it.
 func TestShutdownCommand(t *testing.T) {
+	before := runtime.NumGoroutine()
+
 	db := testDB(t, 1)
 	s, err := New(Config{DB: db})
 	if err != nil {
@@ -487,7 +492,6 @@ func TestShutdownCommand(t *testing.T) {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- s.Serve(ln) }()
-	defer db.Close()
 
 	c := dial(t, ln.Addr().String())
 	c.expectSimple("OK", "SET", "k", "v")
@@ -503,6 +507,36 @@ func TestShutdownCommand(t *testing.T) {
 	}
 	if st := s.Stats(); st.Shutdown != 1 {
 		t.Fatalf("shutdown counter: %+v", st)
+	}
+
+	// Regression: SIGTERM handling (or any embedder's deferred stop) calls
+	// Shutdown after the wire-initiated drain already ran. It must observe
+	// the finished drain and return, honoring its context.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("external Shutdown after wire SHUTDOWN: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("external Shutdown after wire SHUTDOWN never returned")
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The SHUTDOWN watcher (and every other server goroutine) must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak after wire SHUTDOWN: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
