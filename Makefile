@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-shards bench-server bench-smoke smoke golden server-smoke modelcheck fuzz-smoke ci
+.PHONY: all build test race vet fmt bench bench-shards bench-server bench-smoke smoke golden server-smoke modelcheck fuzz-smoke qd qd-smoke ci
 
 all: build
 
@@ -68,6 +68,21 @@ server-smoke:
 modelcheck:
 	$(GO) test -run 'TestModelCheck|TestCrashSweep|TestFaultRaceSharded' -count=1 -timeout 600s .
 
+# Regenerate the queue-depth sweep artifact: submission window depth 1→32
+# on the 4-shard baseline stack (results/BENCH_qd.json). Every value is
+# simulated, so the artifact is deterministic.
+qd:
+	$(GO) run ./cmd/bandslim-bench -experiment qd -scale 20000 -seed 42 -json results
+
+# QD determinism gate: run the sweep twice at smoke scale and require
+# byte-identical JSON — the async window must not leak host scheduling into
+# simulated results.
+qd-smoke:
+	$(GO) run ./cmd/bandslim-bench -experiment qd -scale 1000 -seed 42 -json .qd1
+	$(GO) run ./cmd/bandslim-bench -experiment qd -scale 1000 -seed 42 -json .qd2
+	diff -u .qd1/BENCH_qd.json .qd2/BENCH_qd.json
+	rm -rf .qd1 .qd2
+
 # Short fixed-budget fuzz pass over the fault-plan parser, the journal
 # decoder/replayer, and the RESP command parser, seeded from the committed
 # testdata corpora.
@@ -76,4 +91,4 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzJournalReplay -fuzztime=5s ./internal/device
 	$(GO) test -run=NONE -fuzz=FuzzRESPParse -fuzztime=5s ./internal/resp
 
-ci: build vet test race smoke bench-smoke server-smoke modelcheck fuzz-smoke
+ci: build vet test race smoke bench-smoke server-smoke modelcheck qd-smoke fuzz-smoke

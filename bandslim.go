@@ -75,6 +75,27 @@ const (
 // Thresholds re-exports the adaptive transfer calibration.
 type Thresholds = driver.Thresholds
 
+// SubmissionConfig is the driver's complete submission policy: the
+// in-flight window depth behind the batch-read paths, doorbell batching
+// (which also enables burst submission of multi-command PUTs), and
+// interrupt-coalescing-style completion sweeps. The zero value reproduces
+// the paper's synchronous passthrough byte-identically.
+type SubmissionConfig = driver.SubmissionConfig
+
+// PipelinedSubmission returns the policy the deprecated Config.Pipelined
+// toggle maps to: depth-1 burst mode (multi-command PUTs submit as one
+// doorbell burst; reads keep the synchronous passthrough).
+func PipelinedSubmission() SubmissionConfig { return driver.PipelinedSubmission() }
+
+// ConfigError reports a submission-policy field that failed validation;
+// Open, OpenSharded, and Tune return it wrapped — match with errors.As.
+type ConfigError = driver.ConfigError
+
+// Tuning is a snapshot update for a live DB's runtime knobs, with per-field
+// presence semantics: nil fields keep their current value, set fields apply
+// together after validation. See DB.Tune / ShardedDB.Tune.
+type Tuning = driver.Tuning
+
 // SimTime is a point on the simulated clock (nanoseconds since open); DB.Now
 // and MetricSample.T use it.
 type SimTime = sim.Time
@@ -109,11 +130,16 @@ type Config struct {
 	// DisableNAND turns off persistence, isolating transfer behaviour as
 	// the paper's §4.2 experiments do.
 	DisableNAND bool
-	// Pipelined lifts the passthrough serialization: multi-command PUTs
-	// submit as one doorbell burst, so trailing transfer commands pay a
-	// small pipeline interval instead of a full round trip each. Off by
-	// default, matching the paper's testbed; enable to explore the
-	// improvement §4.2 says serialization leaves on the table.
+	// Submission is the host's submission policy: window depth (QueueDepth
+	// >= 2 keeps that many commands in flight on the batch-read paths),
+	// doorbell batching, and completion coalescing. The zero value is the
+	// paper's synchronous passthrough — one command per round trip — with
+	// timings byte-identical to earlier releases. Validated at Open; a bad
+	// field fails with a wrapped ConfigError.
+	Submission SubmissionConfig
+	// Pipelined is the deprecated burst-submission toggle. When Submission
+	// is zero, Pipelined: true maps to PipelinedSubmission() (depth-1 burst
+	// mode); when Submission is set, Pipelined is ignored. Use Submission.
 	Pipelined bool
 	// Tracer, when non-nil, receives every command-level event the stack
 	// emits: driver submissions, doorbell MMIO, command fetches, SQ/CQ ring
@@ -162,8 +188,11 @@ type DB struct {
 	st      *shard.Stack
 	sampler *timeseries.Sampler // nil unless Config.MetricsInterval > 0
 	// batch backs PutBatch, created lazily under mu.
-	batch  *driver.Batcher
-	closed bool
+	batch *driver.Batcher
+	// winH/winI are the windowed batch-read FIFO scratch (StartGet handles
+	// and their key indices), guarded by mu and reused across batches.
+	winH, winI []int
+	closed     bool
 }
 
 // stackOptions normalizes a Config into the per-stack options shared by the
@@ -179,11 +208,15 @@ func stackOptions(cfg Config) shard.Options {
 	if thr.IsZero() {
 		thr = driver.DefaultThresholds()
 	}
+	sub := cfg.Submission
+	if sub == (SubmissionConfig{}) && cfg.Pipelined {
+		sub = driver.PipelinedSubmission()
+	}
 	return shard.Options{
 		Device:     dcfg,
 		Method:     cfg.Method,
 		Thresholds: thr,
-		Pipelined:  cfg.Pipelined,
+		Submission: sub,
 		Tracer:     cfg.Tracer,
 		Faults:     cfg.Faults,
 		Retry:      cfg.Retry,
@@ -321,6 +354,12 @@ func (db *DB) GetBatch(keys, vals [][]byte) ([][]byte, error) {
 	if db.closed {
 		return nil, ErrClosed
 	}
+	if db.st.Drv.WindowDepth() >= 2 {
+		if _, err := db.getBatchWindowed(keys, vals, nil); err != nil {
+			return nil, err
+		}
+		return vals, nil
+	}
 	for i := range keys {
 		v, err := db.st.Drv.Get(keys[i])
 		if err != nil {
@@ -331,6 +370,58 @@ func (db *DB) GetBatch(keys, vals [][]byte) ([][]byte, error) {
 		db.poll()
 	}
 	return vals, nil
+}
+
+// getBatchWindowed pumps keys through the driver's asynchronous submission
+// window — up to WindowDepth reads in flight, completions reaped out of
+// order and claimed in submission order. Callers hold db.mu. A nil miss
+// makes any error fatal; a non-nil miss absorbs not-found completions.
+// The loop is written closure-free: the steady-state batch-read path must
+// not allocate, and closures over the cursor variables would escape.
+func (db *DB) getBatchWindowed(keys, vals [][]byte, miss []bool) (int, error) {
+	drv := db.st.Drv
+	depth := drv.WindowDepth()
+	db.winH, db.winI = db.winH[:0], db.winI[:0]
+	head, next, n := 0, 0, 0
+	for {
+		// Reap the oldest in-flight read while the window is full, or once
+		// every key has been submitted.
+		for head < len(db.winH) && (len(db.winH)-head >= depth || next == len(keys)) {
+			h, i := db.winH[head], db.winI[head]
+			head++
+			v, err := drv.WaitGetInto(h, vals[i])
+			if err != nil {
+				if miss != nil && IsNotFound(err) {
+					miss[i] = true
+					vals[i] = vals[i][:0]
+					n++
+					db.poll()
+					continue
+				}
+				drv.DrainWindow()
+				db.poll()
+				return n, err
+			}
+			if miss != nil {
+				miss[i] = false
+			}
+			vals[i] = v
+			n++
+			db.poll()
+		}
+		if next == len(keys) {
+			return n, nil
+		}
+		h, err := drv.StartGet(keys[next])
+		if err != nil {
+			drv.DrainWindow()
+			db.poll()
+			return n, err
+		}
+		db.winH = append(db.winH, h)
+		db.winI = append(db.winI, next)
+		next++
+	}
 }
 
 // GetBatchSparse resolves keys in bulk like GetBatch, but a missing key sets
@@ -349,6 +440,10 @@ func (db *DB) GetBatchSparse(keys, vals [][]byte, miss []bool) ([][]byte, error)
 	defer db.mu.Unlock()
 	if db.closed {
 		return vals, ErrClosed
+	}
+	if db.st.Drv.WindowDepth() >= 2 {
+		_, err := db.getBatchWindowed(keys, vals, miss)
+		return vals, err
 	}
 	for i := range keys {
 		v, err := db.st.Drv.Get(keys[i])
@@ -484,28 +579,31 @@ func (it *Iterator) next() {
 // Now reports the DB's simulated time.
 func (db *DB) Now() sim.Time { return db.st.Clock.Now() }
 
-// SetMethod switches the transfer method on the live DB (between benchmark
-// phases). It fails with ErrClosed after Close.
-func (db *DB) SetMethod(m TransferMethod) error {
+// Tune applies the present (non-nil) fields of a Tuning to the live DB in
+// one step — transfer method, thresholds, retry policy, and submission
+// policy. An invalid Submission fails with a ConfigError before anything is
+// applied. It fails with ErrClosed after Close.
+func (db *DB) Tune(t Tuning) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
-	db.st.Drv.SetMethod(m)
-	return nil
+	return db.st.Drv.Tune(t)
 }
 
-// SetThresholds replaces the adaptive calibration on the live DB. It fails
-// with ErrClosed after Close.
+// SetMethod switches the transfer method on the live DB (between benchmark
+// phases). It is shorthand for Tune with only Method set and fails with
+// ErrClosed after Close.
+func (db *DB) SetMethod(m TransferMethod) error {
+	return db.Tune(Tuning{Method: &m})
+}
+
+// SetThresholds replaces the adaptive calibration on the live DB. It is
+// shorthand for Tune with only Thresholds set and fails with ErrClosed
+// after Close.
 func (db *DB) SetThresholds(t Thresholds) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	db.st.Drv.SetThresholds(t)
-	return nil
+	return db.Tune(Tuning{Thresholds: &t})
 }
 
 // OpLatency is one named latency distribution inside an Inspection — a
@@ -520,10 +618,12 @@ type OpLatency struct {
 // pointers. Every field is a copy; holding one never races with ongoing
 // operations.
 type Inspection struct {
-	// Host-side configuration in effect.
+	// Host-side configuration in effect. Pipelined mirrors
+	// Submission.DoorbellBatch > 1 for callers of the legacy toggle.
 	Method     TransferMethod
 	Thresholds Thresholds
 	Pipelined  bool
+	Submission SubmissionConfig
 	// Device-side packing policy in effect.
 	Policy PackingPolicy
 	// Now is the simulated time of the snapshot.
@@ -574,6 +674,7 @@ func inspectStack(st *shard.Stack) Inspection {
 		Method:          st.Drv.Method(),
 		Thresholds:      st.Drv.Thresholds(),
 		Pipelined:       st.Drv.Pipelined(),
+		Submission:      st.Drv.Submission(),
 		Policy:          buf.Policy(),
 		Now:             now,
 		WireUtilization: st.Link.WireUtilization(now),

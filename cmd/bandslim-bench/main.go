@@ -301,6 +301,37 @@ func main() {
 		return
 	}
 
+	if *experiment == "qd" {
+		start := time.Now()
+		t, points, err := bench.RunQDSweep(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+		raw, err := bench.QDSweepJSON(points)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		dir := *jsonDir
+		if dir == "" {
+			dir = "."
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(dir, "BENCH_qd.json")
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+		fmt.Printf("qd experiment completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
 	if *experiment == "server" {
 		start := time.Now()
 		t, points, err := bench.RunServerSweep(opts, serverShards(counts), nil, nil)

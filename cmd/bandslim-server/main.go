@@ -61,6 +61,29 @@ func main() {
 	}
 }
 
+// submissionForWindow derives the per-shard NVMe submission policy from the
+// per-connection in-flight window, so -window is one coherent knob spanning
+// the network edge and the simulated device: the shard queue depth tracks
+// the window (capped at 32, the useful concurrency of the simulated NAND
+// array), doorbells batch up to 8 submissions per MMIO write, and
+// completions coalesce on a 2µs interrupt grid. A window of 1 degenerates
+// to the paper's synchronous testbed. INFO reports the mapping under
+// submission_*.
+func submissionForWindow(window int) bandslim.SubmissionConfig {
+	depth := window
+	if depth > 32 {
+		depth = 32
+	}
+	if depth <= 1 {
+		return bandslim.SubmissionConfig{}
+	}
+	return bandslim.SubmissionConfig{
+		QueueDepth:       depth,
+		DoorbellBatch:    8,
+		CoalesceInterval: 2 * bandslim.SimMicrosecond,
+	}
+}
+
 // parseMethod maps the -method flag to a transfer method.
 func parseMethod(name string) (bandslim.TransferMethod, error) {
 	switch strings.ToLower(name) {
@@ -83,6 +106,7 @@ func run(addr string, shards, window int, method, metricsListen string, drainTim
 	}
 	cfg := bandslim.DefaultConfig()
 	cfg.Method = m
+	cfg.Submission = submissionForWindow(window)
 	db, err := bandslim.OpenSharded(bandslim.ShardedConfig{Shards: shards, PerShard: cfg})
 	if err != nil {
 		return err

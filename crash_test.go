@@ -47,6 +47,34 @@ func crashWorkload(t *testing.T, db *bandslim.DB) (acked map[string][]byte, cut 
 				}
 				t.Fatalf("flush: %v", err)
 			}
+		case op%5 == 4: // batch read through the submission window
+			// Before the cut no mutation has failed, so the store must match
+			// the acked map exactly — and the window must keep matching it
+			// even when the cut lands mid-batch on a later occurrence.
+			keys := make([][]byte, 4)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("c%02d", (op+3*i)%12))
+			}
+			miss := make([]bool, 4)
+			vals, err := db.GetBatchSparse(keys, make([][]byte, 4), miss)
+			if err != nil {
+				if bandslim.IsPowerLoss(err) {
+					return acked, true
+				}
+				t.Fatalf("batch get: %v", err)
+			}
+			for i, k := range keys {
+				want, known := acked[string(k)]
+				if !known || want == nil {
+					if !miss[i] {
+						t.Fatalf("batch get %s: expected absent, got %d bytes", k, len(vals[i]))
+					}
+					continue
+				}
+				if miss[i] || !bytes.Equal(vals[i], want) {
+					t.Fatalf("batch get %s: got %d bytes, want %d", k, len(vals[i]), len(want))
+				}
+			}
 		default:
 			value := mcValue(rng)
 			if step(key, value, db.Put([]byte(key), value)) {
@@ -112,14 +140,19 @@ func crashVerify(t *testing.T, db *bandslim.DB, acked map[string][]byte, cut boo
 }
 
 // runCrashPoint executes the workload with one power cut injected at the
-// given site/occurrence, verifies, and returns the state dump.
+// given site/occurrence, verifies, and returns the state dump. The cut
+// occurrence also picks the submission queue depth (rotating through 1, 4,
+// and 8 via mcSubmission), so the sweep proves crash recovery at every
+// depth; both determinism runs of a point share its depth.
 func runCrashPoint(t *testing.T, site bandslim.FaultSite, nth int) []byte {
 	t.Helper()
 	plan := &bandslim.FaultPlan{
 		Seed:  1,
 		Rules: []bandslim.FaultRule{{Site: site, Effect: bandslim.FaultPowerCut, Nth: nth}},
 	}
-	db, err := bandslim.Open(tinyFaultConfig(plan))
+	cfg := tinyFaultConfig(plan)
+	cfg.Submission = mcSubmission(uint64(nth))
+	db, err := bandslim.Open(cfg)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}

@@ -125,6 +125,10 @@ type Device struct {
 	readBuf    []byte   // vLog read destination (read/next)
 	nextBuf    []byte   // NEXT payload framing [klen][key][value]
 	prpScratch []uint64 // PRP page-run reconstruction for transfers
+	// sweep collects one windowed batch of completions before posting, so
+	// ProcessWindow can order them by readiness (out-of-order completion)
+	// without allocating per sweep.
+	sweep []nvme.Completion
 }
 
 // New builds a device over a fresh flash array, sharing the caller's clock,
@@ -244,6 +248,76 @@ func (d *Device) ProcessPending(t sim.Time) (sim.Time, error) {
 		}
 		d.link.RecordCompletion()
 	}
+}
+
+// ProcessWindow fetches and executes every published command like
+// ProcessPending, but models the controller servicing a submission window of
+// independent commands concurrently:
+//
+//   - Command fetches stagger by the link's pipeline interval (the burst
+//     fetch/parse cadence submitBurst already charges), so command i starts
+//     at t + i·PipelineInterval instead of all at t.
+//   - Each command's device work runs against the NAND way and wire
+//     BusyLines from its own start time, so reads landing on different
+//     channels/ways genuinely overlap while same-way reads serialize.
+//   - Completions are posted in readiness order — out-of-order with respect
+//     to submission — each stamped with its Ready time. With coalesce > 0
+//     readiness quantizes up to the next multiple of coalesce, modeling
+//     interrupt-coalescing-style completion sweeps (fewer, batched CQ
+//     deliveries at the cost of completion latency).
+//
+// State mutations still happen in fetch order on the controller (single
+// firmware core), so per-key ordering and §3.3.1's one-open-write invariant
+// are untouched; only completion timing and posting order change. The
+// returned time is when the last completion was posted.
+func (d *Device) ProcessWindow(t sim.Time, coalesce sim.Duration) (sim.Time, error) {
+	end := t
+	d.sweep = d.sweep[:0]
+	for i := 0; ; i++ {
+		cmd, err := d.qp.SQ.Fetch()
+		if err == nvme.ErrQueueEmpty {
+			break
+		}
+		if err != nil {
+			return end, err
+		}
+		d.link.RecordCommandFetch()
+		start := t.Add(sim.Duration(i) * d.link.Model.PipelineInterval)
+		comp, cEnd := d.execute(start, cmd)
+		if cEnd < start {
+			cEnd = start
+		}
+		comp.SQHead = d.qp.SQ.Head()
+		if coalesce > 0 {
+			if rem := sim.Duration(int64(cEnd) % int64(coalesce)); rem != 0 {
+				cEnd = cEnd.Add(coalesce - rem)
+			}
+		}
+		comp.Ready = cEnd
+		if cEnd > end {
+			end = cEnd
+		}
+		d.sweep = append(d.sweep, comp)
+	}
+	// Stable insertion sort by readiness: ties keep fetch order, so two runs
+	// of the same command stream post byte-identical completion streams.
+	for j := 1; j < len(d.sweep); j++ {
+		c := d.sweep[j]
+		k := j - 1
+		for k >= 0 && d.sweep[k].Ready > c.Ready {
+			d.sweep[k+1] = d.sweep[k]
+			k--
+		}
+		d.sweep[k+1] = c
+	}
+	for _, comp := range d.sweep {
+		if err := d.qp.CQ.Post(comp); err != nil {
+			return end, fmt.Errorf("device: completion queue overflow: %w", err)
+		}
+		d.link.RecordCompletion()
+	}
+	d.sweep = d.sweep[:0]
+	return end, nil
 }
 
 // execute runs one command and returns its completion and the time its

@@ -140,12 +140,13 @@ type Driver struct {
 	link  *pcie.Link
 	mem   *nvme.HostMemory
 	dev   *device.Device
-	// pipelined lifts the passthrough serialization: the commands of one
-	// PUT are submitted as a burst with a single doorbell, so trailing
-	// transfer commands pay only a fetch/parse interval instead of a full
-	// round trip each. This is the what-if the paper's §4.2 points at when
-	// it blames "synchronous and serialized" submission for piggybacking's
-	// large-value collapse.
+	// sub is the submission policy (see SubmissionConfig); pipelined caches
+	// sub.burst() — whether the commands of one PUT are submitted as a
+	// doorbell burst so trailing transfer commands pay only a fetch/parse
+	// interval instead of a full round trip each. This is the what-if the
+	// paper's §4.2 points at when it blames "synchronous and serialized"
+	// submission for piggybacking's large-value collapse.
+	sub       SubmissionConfig
 	pipelined bool
 	method    Method
 	thr       Thresholds
@@ -153,6 +154,14 @@ type Driver struct {
 	nextID    uint16
 	stats     Stats
 	tr        trace.Tracer
+
+	// Asynchronous window state (sub.QueueDepth >= 2): per-command wait
+	// frames and their staging slots, the in-flight count, and the
+	// submissions queued since the last SQ doorbell. See submission.go.
+	frames    []frame
+	slotStage []nvme.PRPList
+	inflight  int
+	unrung    int
 
 	// stage is the driver's persistent staging region: one contiguous
 	// MaxValueSize run of pinned host pages, allocated at first use and
@@ -201,29 +210,34 @@ func (d *Driver) SetTracer(tr trace.Tracer) { d.tr = tr }
 // Method reports the configured transfer method.
 func (d *Driver) Method() Method { return d.method }
 
-// SetMethod switches the transfer method (between benchmark phases).
-func (d *Driver) SetMethod(m Method) { d.method = m }
+// SetMethod switches the transfer method (between benchmark phases). It is
+// a thin wrapper over Tune.
+func (d *Driver) SetMethod(m Method) { _ = d.Tune(Tuning{Method: &m}) }
 
 // Thresholds reports the adaptive calibration.
 func (d *Driver) Thresholds() Thresholds { return d.thr }
 
-// SetThresholds replaces the adaptive calibration.
-func (d *Driver) SetThresholds(t Thresholds) { d.thr = t }
+// SetThresholds replaces the adaptive calibration; a thin wrapper over Tune.
+func (d *Driver) SetThresholds(t Thresholds) { _ = d.Tune(Tuning{Thresholds: &t}) }
 
 // Retry reports the active retry policy.
 func (d *Driver) Retry() RetryPolicy { return d.retry }
 
-// SetRetry replaces the retry policy (the zero value restores defaults).
-func (d *Driver) SetRetry(r RetryPolicy) {
-	if r.IsZero() {
-		r = DefaultRetryPolicy()
-	}
-	d.retry = r
-}
+// SetRetry replaces the retry policy (the zero value restores defaults); a
+// thin wrapper over Tune.
+func (d *Driver) SetRetry(r RetryPolicy) { _ = d.Tune(Tuning{Retry: &r}) }
 
 // SetPipelined toggles burst submission of multi-command PUTs (default off,
-// matching the paper's serialized passthrough testbed).
-func (d *Driver) SetPipelined(on bool) { d.pipelined = on }
+// matching the paper's serialized passthrough testbed). It is a thin
+// wrapper over SetSubmission: on maps to PipelinedSubmission(), off to the
+// zero (synchronous) policy.
+func (d *Driver) SetPipelined(on bool) {
+	if on {
+		_ = d.SetSubmission(PipelinedSubmission())
+	} else {
+		_ = d.SetSubmission(SubmissionConfig{})
+	}
+}
 
 // Pipelined reports whether burst submission is enabled.
 func (d *Driver) Pipelined() bool { return d.pipelined }
@@ -780,6 +794,12 @@ func (d *Driver) Identify() (device.IdentifyData, error) {
 // A fault plan can cut power again mid-replay; the returned error then
 // carries StatusPowerLoss semantics and a subsequent Recover resumes.
 func (d *Driver) Recover() error {
+	// The mount replaces the SQ/CQ rings, so any window frames referencing
+	// pre-cut completions are void; reset the window rather than reaping it.
+	for i := range d.frames {
+		d.frames[i] = frame{}
+	}
+	d.inflight, d.unrung = 0, 0
 	end, err := d.dev.Mount(d.clock.Now())
 	d.clock.AdvanceTo(end.Add(d.link.Model.CommandRoundTrip))
 	d.stats.Recoveries.Inc()

@@ -90,6 +90,11 @@ type Completion struct {
 	// Result carries a command-specific 32-bit result (e.g. the value size
 	// of a read, so short reads are visible to the driver).
 	Result uint32
+	// Ready is simulation bookkeeping, not wire content: the simulated time
+	// the controller posted this entry. The synchronous ProcessPending path
+	// leaves it zero; the windowed ProcessWindow path stamps it so the host
+	// can advance its clock to each completion's arrival out of order.
+	Ready sim.Time
 }
 
 // Queue-ring errors.

@@ -542,6 +542,11 @@ func (c *conn) infoReply() {
 	b = fmt.Appendf(b, "connections_active:%d\r\n", sv.Active)
 	b = fmt.Appendf(b, "backpressure_stalls:%d\r\n", sv.Stalls)
 	b = fmt.Appendf(b, "bytes_in:%d\r\nbytes_out:%d\r\n", sv.BytesIn, sv.BytesOut)
+	b = fmt.Appendf(b, "window:%d\r\n", c.s.window)
+	sub := c.db.Submission()
+	b = fmt.Appendf(b, "submission_queue_depth:%d\r\n", sub.QueueDepth)
+	b = fmt.Appendf(b, "submission_doorbell_batch:%d\r\n", sub.DoorbellBatch)
+	b = fmt.Appendf(b, "submission_coalesce_ns:%d\r\n", int64(sub.CoalesceInterval))
 	b = append(b, "# Commands\r\n"...)
 	b = fmt.Appendf(b, "ping:%d\r\nset:%d\r\nget:%d\r\ndel:%d\r\nmset:%d\r\nmget:%d\r\nscan:%d\r\ninfo:%d\r\nerrors:%d\r\n",
 		sv.Ping, sv.Set, sv.Get, sv.Del, sv.MSet, sv.MGet, sv.Scan, sv.Info, sv.Errors)

@@ -39,7 +39,11 @@ type Options struct {
 	Device     device.Config
 	Method     driver.Method
 	Thresholds driver.Thresholds
-	Pipelined  bool
+	// Submission is the driver's submission policy: burst submission,
+	// in-flight window depth, doorbell batching, completion coalescing. The
+	// zero value is the paper's synchronous passthrough. It is validated
+	// against the device ring at construction.
+	Submission driver.SubmissionConfig
 	// Tracer, when non-nil, receives every command-level event the stack
 	// emits, stamped with ShardID. Nil keeps the zero-cost disabled path.
 	Tracer  trace.Tracer
@@ -74,7 +78,9 @@ func NewStack(o Options) (*Stack, error) {
 		return nil, err
 	}
 	drv := driver.New(clock, link, mem, dev, o.Method, o.Thresholds)
-	drv.SetPipelined(o.Pipelined)
+	if err := drv.SetSubmission(o.Submission); err != nil {
+		return nil, err
+	}
 	drv.SetRetry(o.Retry)
 	if o.Faults != nil {
 		if err := o.Faults.Validate(); err != nil {
@@ -162,6 +168,9 @@ type Shard struct {
 	// batch is the worker-owned batcher behind PutBatch, created lazily on
 	// the worker goroutine.
 	batch *driver.Batcher
+	// winH/winI are the windowed batch-read FIFO scratch (StartGet handles
+	// and their key indices), worker-owned and reused across batches.
+	winH, winI []int
 }
 
 // New builds a shard and starts its worker. Callers must Close it to stop
@@ -270,8 +279,13 @@ func (s *Shard) runPutBatch(keys, values [][]byte, lane []int) (int, error) {
 }
 
 // runGetBatch resolves this shard's lane of keys, copying each value into the
-// caller's dst lane (vals[i], grown as needed) on the worker goroutine.
+// caller's dst lane (vals[i], grown as needed) on the worker goroutine. With
+// an asynchronous submission window configured the lane rides it — up to
+// WindowDepth reads in flight at once; otherwise reads stay serial.
 func (s *Shard) runGetBatch(keys, vals [][]byte, lane []int) (int, error) {
+	if s.stack.Drv.WindowDepth() >= 2 {
+		return s.runGetBatchWindowed(keys, vals, nil, lane)
+	}
 	n := 0
 	get := func(i int) error {
 		v, err := s.stack.Drv.Get(keys[i])
@@ -299,12 +313,76 @@ func (s *Shard) runGetBatch(keys, vals [][]byte, lane []int) (int, error) {
 	return n, nil
 }
 
+// runGetBatchWindowed pumps the lane through the driver's asynchronous
+// submission window: keep up to WindowDepth reads in flight, wait for the
+// oldest before starting the next, then drain in submission order. Results
+// land in the caller's lanes exactly as the serial path places them; a nil
+// miss makes any error fatal (GetBatch), a non-nil miss absorbs not-found
+// completions (GetBatchSparse). Written closure-free so the steady-state
+// batch-read path stays allocation-free.
+func (s *Shard) runGetBatchWindowed(keys, vals [][]byte, miss []bool, lane []int) (int, error) {
+	drv := s.stack.Drv
+	depth := drv.WindowDepth()
+	s.winH, s.winI = s.winH[:0], s.winI[:0]
+	total := len(keys)
+	if lane != nil {
+		total = len(lane)
+	}
+	head, next, n := 0, 0, 0
+	for {
+		// Reap the oldest in-flight read while the window is full, or once
+		// every key has been submitted.
+		for head < len(s.winH) && (len(s.winH)-head >= depth || next == total) {
+			h, i := s.winH[head], s.winI[head]
+			head++
+			v, err := drv.WaitGetInto(h, vals[i])
+			if err != nil {
+				if miss != nil {
+					if st, ok := nvme.StatusOf(err); ok && st == nvme.StatusKeyNotFound {
+						miss[i] = true
+						vals[i] = vals[i][:0]
+						n++
+						s.opDone()
+						continue
+					}
+				}
+				drv.DrainWindow()
+				return n, err
+			}
+			if miss != nil {
+				miss[i] = false
+			}
+			vals[i] = v
+			n++
+			s.opDone()
+		}
+		if next == total {
+			return n, nil
+		}
+		i := next
+		if lane != nil {
+			i = lane[next]
+		}
+		h, err := drv.StartGet(keys[i])
+		if err != nil {
+			drv.DrainWindow()
+			return n, err
+		}
+		s.winH = append(s.winH, h)
+		s.winI = append(s.winI, i)
+		next++
+	}
+}
+
 // runGetBatchSparse resolves this shard's lane of keys like runGetBatch, but
 // tolerates absent keys: a key-not-found completion sets miss[i] and empties
 // the dst lane instead of failing the batch — the semantics a serving
 // front-end needs for MGET and coalesced GET runs, where a miss is an answer
 // ("no such key"), not an error.
 func (s *Shard) runGetBatchSparse(keys, vals [][]byte, miss []bool, lane []int) (int, error) {
+	if s.stack.Drv.WindowDepth() >= 2 {
+		return s.runGetBatchWindowed(keys, vals, miss, lane)
+	}
 	n := 0
 	get := func(i int) error {
 		v, err := s.stack.Drv.Get(keys[i])

@@ -104,6 +104,11 @@ const (
 	EvRetry
 	EvMount
 	EvReplay
+	// Async submission window (CatDriver): EvSubmit doubles as the
+	// queued-submission instant when the window is deep, and EvReap spans a
+	// command's in-flight life from submission to its completion being
+	// matched back by CID.
+	EvReap
 )
 
 func (n Name) String() string {
@@ -166,6 +171,8 @@ func (n Name) String() string {
 		return "mount"
 	case EvReplay:
 		return "replay"
+	case EvReap:
+		return "reap"
 	default:
 		return fmt.Sprintf("ev(%d)", uint8(n))
 	}

@@ -32,6 +32,7 @@ type mcKV interface {
 	Put(key, value []byte) error
 	GetInto(key, dst []byte) ([]byte, error)
 	PutBatch(keys, values [][]byte) error
+	GetBatchSparse(keys, vals [][]byte, miss []bool) ([][]byte, error)
 	Delete(key []byte) error
 	Flush() error
 	Close() error
@@ -130,6 +131,26 @@ func tinyFaultConfig(plan *bandslim.FaultPlan) bandslim.Config {
 	cfg.Device.LSM.L0CompactionTrigger = 2
 	cfg.Faults = plan
 	return cfg
+}
+
+// mcSubmission derives the NVMe submission policy for a sequence: seeds
+// rotate through queue depths {1, 4, 8}, so a third of the sequences run the
+// paper's synchronous testbed (zero value) and the rest push reads through
+// the async submission window, with doorbell batching and completion
+// coalescing at the deepest setting.
+func mcSubmission(seed uint64) bandslim.SubmissionConfig {
+	switch seed % 3 {
+	case 1:
+		return bandslim.SubmissionConfig{QueueDepth: 4, DoorbellBatch: 2}
+	case 2:
+		return bandslim.SubmissionConfig{
+			QueueDepth:       8,
+			DoorbellBatch:    4,
+			CoalesceInterval: bandslim.SimMicrosecond,
+		}
+	default:
+		return bandslim.SubmissionConfig{}
+	}
 }
 
 // mcPlan derives a fault plan from the sequence seed: transient transfer
@@ -299,12 +320,37 @@ func runModelSequence(t *testing.T, db mcRecoverable, seed uint64, faulty bool) 
 			for i := range keys {
 				mutate(string(keys[i]), vals[i], err)
 			}
-		case r < 75: // get, checked against the model mid-sequence
+		case r < 68: // get, checked against the model mid-sequence
 			key := mcKey(rng)
 			var got []byte
 			got, scratch = mcGet(t, db, key, scratch)
 			if !matchesAny(got, model.possible(key)) {
 				t.Fatalf("seed %d op %d: get %q returned impossible value (%d bytes)", seed, op, key, len(got))
+			}
+		case r < 75: // batch get: reads pumped through the submission window
+			n := 2 + rng.Intn(4)
+			keys := make([][]byte, n)
+			for i := range keys {
+				keys[i] = []byte(mcKey(rng))
+			}
+			miss := make([]bool, n)
+			vals, err := db.GetBatchSparse(keys, make([][]byte, n), miss)
+			if err != nil {
+				if bandslim.IsPowerLoss(err) {
+					mcRecover(t, db)
+				} else if !faulty {
+					t.Fatalf("seed %d op %d: batch get: %v", seed, op, err)
+				}
+				break
+			}
+			for i := range keys {
+				got := vals[i]
+				if miss[i] {
+					got = nil
+				}
+				if !matchesAny(got, model.possible(string(keys[i]))) {
+					t.Fatalf("seed %d op %d: batch get %q returned impossible value (%d bytes)", seed, op, keys[i], len(got))
+				}
 			}
 		case r < 80: // scan from a random start
 			mcScan(t, db, model, mcKey(rng), faulty)
@@ -354,7 +400,9 @@ func TestModelCheckDB(t *testing.T) {
 		if faulty {
 			plan = mcPlan(seed)
 		}
-		db, err := bandslim.Open(tinyFaultConfig(plan))
+		cfg := tinyFaultConfig(plan)
+		cfg.Submission = mcSubmission(seed)
+		db, err := bandslim.Open(cfg)
 		if err != nil {
 			t.Fatalf("seed %d: open: %v", seed, err)
 		}
@@ -379,7 +427,9 @@ func TestModelCheckSharded(t *testing.T) {
 		if faulty {
 			plan = mcPlan(seed ^ 0x51A4DED)
 		}
-		cfg := bandslim.ShardedConfig{Shards: 2, PerShard: tinyFaultConfig(plan)}
+		per := tinyFaultConfig(plan)
+		per.Submission = mcSubmission(seed)
+		cfg := bandslim.ShardedConfig{Shards: 2, PerShard: per}
 		db, err := bandslim.OpenSharded(cfg)
 		if err != nil {
 			t.Fatalf("seed %d: open: %v", seed, err)

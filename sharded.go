@@ -137,34 +137,52 @@ func (s *ShardedDB) TraceEvents() []TraceEvent {
 	return MergeTraces(streams...)
 }
 
-// SetMethod switches the transfer method on every shard. It fails with
+// Tune applies the present (non-nil) fields of a Tuning to every shard in
+// one step. Each shard's driver validates Submission before applying any
+// field, and every shard sees the same Tuning, so an invalid policy fails
+// with a ConfigError without leaving the fleet half-tuned. It fails with
 // ErrClosed after Close.
-func (s *ShardedDB) SetMethod(m TransferMethod) error {
+func (s *ShardedDB) Tune(t Tuning) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrClosed
 	}
-	for _, sh := range s.shards {
-		sh := sh
-		sh.Do(func() { sh.Stack().Drv.SetMethod(m) })
+	errs := make([]error, len(s.shards))
+	for i, sh := range s.shards {
+		i, sh := i, sh
+		sh.Do(func() { errs[i] = sh.Stack().Drv.Tune(t) })
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// SetThresholds replaces the adaptive calibration on every shard. It fails
-// with ErrClosed after Close.
+// SetMethod switches the transfer method on every shard. It is shorthand
+// for Tune with only Method set and fails with ErrClosed after Close.
+func (s *ShardedDB) SetMethod(m TransferMethod) error {
+	return s.Tune(Tuning{Method: &m})
+}
+
+// SetThresholds replaces the adaptive calibration on every shard. It is
+// shorthand for Tune with only Thresholds set and fails with ErrClosed
+// after Close.
 func (s *ShardedDB) SetThresholds(t Thresholds) error {
+	return s.Tune(Tuning{Thresholds: &t})
+}
+
+// Submission reports the submission policy in effect on shard 0 (Tune keeps
+// every shard on the same policy).
+func (s *ShardedDB) Submission() SubmissionConfig {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.closed {
-		return ErrClosed
-	}
-	for _, sh := range s.shards {
-		sh := sh
-		sh.Do(func() { sh.Stack().Drv.SetThresholds(t) })
-	}
-	return nil
+	var sub SubmissionConfig
+	sh := s.shards[0]
+	sh.Do(func() { sub = sh.Stack().Drv.Submission() })
+	return sub
 }
 
 // NumShards reports the shard count.

@@ -330,3 +330,96 @@ func TestShardedConcurrentAccess(t *testing.T) {
 		t.Fatalf("Puts = %d, want %d", got, 8*50)
 	}
 }
+
+// Run with -race: a deep-queue storm — concurrent batch reads riding the
+// depth-8 submission window on every shard, interleaved with batch writes,
+// live Tune calls, and Stats/Inspect polling. Exercises the window FIFO,
+// wait-frame recycling, and the Tune fan-out under maximal interleaving.
+func TestShardedWindowStorm(t *testing.T) {
+	s := openSharded(t, 4, func(c *Config) {
+		c.Submission = SubmissionConfig{
+			QueueDepth:       8,
+			DoorbellBatch:    4,
+			CoalesceInterval: SimMicrosecond,
+		}
+	})
+	const nkeys = 48
+	keys := make([][]byte, nkeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("st%03d", i))
+		if err := s.Put(keys[i], bytes.Repeat([]byte{byte(i)}, 96)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals := make([][]byte, nkeys)
+			miss := make([]bool, nkeys)
+			for round := 0; round < 25; round++ {
+				if g%2 == 0 {
+					out, err := s.GetBatch(keys, vals)
+					if err != nil {
+						t.Errorf("storm GetBatch: %v", err)
+						return
+					}
+					for i := range out {
+						if len(out[i]) != 96 || out[i][0] != byte(i) {
+							t.Errorf("storm GetBatch: key %d holds %d bytes", i, len(out[i]))
+							return
+						}
+					}
+				} else {
+					if _, err := s.GetBatchSparse(keys, vals, miss); err != nil {
+						t.Errorf("storm GetBatchSparse: %v", err)
+						return
+					}
+					for i := range miss {
+						if miss[i] {
+							t.Errorf("storm GetBatchSparse: key %d reported missing", i)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wkeys := make([][]byte, 8)
+		wvals := make([][]byte, 8)
+		for i := range wkeys {
+			wkeys[i] = []byte(fmt.Sprintf("sw%03d", i))
+			wvals[i] = bytes.Repeat([]byte{0xAB}, 64)
+		}
+		for round := 0; round < 25; round++ {
+			if err := s.PutBatch(wkeys, wvals); err != nil {
+				t.Errorf("storm PutBatch: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			m := Piggyback
+			if i%2 == 0 {
+				m = Adaptive
+			}
+			if err := s.Tune(Tuning{Method: &m}); err != nil {
+				t.Errorf("storm Tune: %v", err)
+				return
+			}
+			_ = s.Stats()
+			_ = s.Submission()
+		}
+	}()
+	wg.Wait()
+	if sub := s.Submission(); sub.QueueDepth != 8 {
+		t.Fatalf("Submission after storm = %+v, want depth 8", sub)
+	}
+}
