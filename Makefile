@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-shards bench-server bench-smoke smoke golden server-smoke modelcheck fuzz-smoke qd qd-smoke ci
+.PHONY: all build test race vet fmt bench bench-shards bench-server bench-smoke smoke golden server-smoke modelcheck fuzz-smoke qd qd-smoke blame blame-smoke ci
 
 all: build
 
@@ -60,7 +60,7 @@ golden:
 # PING/SET/GET/DEL/INFO through a real client connection, and require a
 # clean drain — the end-to-end check on the RESP front-end.
 server-smoke:
-	$(GO) run ./cmd/bandslim-server -smoke -quiet
+	$(GO) run ./cmd/bandslim-server -smoke -quiet -trace 65536 -pprof 127.0.0.1:0
 
 # Model-based differential harness + crash-consistency sweep: 1000+ seeded
 # op sequences against an in-memory reference model, with and without fault
@@ -83,6 +83,25 @@ qd-smoke:
 	diff -u .qd1/BENCH_qd.json .qd2/BENCH_qd.json
 	rm -rf .qd1 .qd2
 
+# Regenerate the latency-attribution artifact: stage blame vs submission
+# window depth on the 4-shard stack (results/BENCH_blame.json). The sweep
+# fails if any op's stages do not sum exactly to its end-to-end latency.
+blame:
+	$(GO) run ./cmd/bandslim-bench -experiment blame -scale 20000 -seed 42 -json results
+
+# Blame determinism + invariant gate: run the sweep twice at smoke scale and
+# require byte-identical JSON, then capture a trace, analyze it twice, and
+# require byte-identical attribution CSV.
+blame-smoke:
+	$(GO) run ./cmd/bandslim-bench -experiment blame -scale 1000 -seed 42 -json .blame1
+	$(GO) run ./cmd/bandslim-bench -experiment blame -scale 1000 -seed 42 -json .blame2
+	diff -u .blame1/BENCH_blame.json .blame2/BENCH_blame.json
+	$(GO) run ./cmd/bandslim-bench -trace-jsonl .blame1/trace.jsonl -shards 2 -scale 1000 -seed 42
+	$(GO) run ./cmd/bandslim-cli analyze -csv .blame1/blame.csv -top 0 .blame1/trace.jsonl > /dev/null
+	$(GO) run ./cmd/bandslim-cli analyze -csv .blame2/blame.csv -top 0 .blame1/trace.jsonl > /dev/null
+	diff -u .blame1/blame.csv .blame2/blame.csv
+	rm -rf .blame1 .blame2
+
 # Short fixed-budget fuzz pass over the fault-plan parser, the journal
 # decoder/replayer, and the RESP command parser, seeded from the committed
 # testdata corpora.
@@ -91,4 +110,4 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzJournalReplay -fuzztime=5s ./internal/device
 	$(GO) test -run=NONE -fuzz=FuzzRESPParse -fuzztime=5s ./internal/resp
 
-ci: build vet test race smoke bench-smoke server-smoke modelcheck qd-smoke fuzz-smoke
+ci: build vet test race smoke bench-smoke server-smoke modelcheck qd-smoke blame-smoke fuzz-smoke

@@ -187,49 +187,56 @@ func TestNextAllocsSteadyState(t *testing.T) {
 	}
 }
 
-// TestWindowedGetBatchAllocsSteadyState proves the depth-8 submission
-// window recycles everything per batch: wait frames and PRP staging come
-// from internal/pool-reused slices on the driver, the FIFO scratch lives on
-// the DB, and completion sweeps reuse the device's sort buffer — so a
-// steady-state GetBatch through the async window allocates nothing.
+// TestWindowedGetBatchAllocsSteadyState proves the submission window
+// recycles everything per batch at both a saturated depth (8) and a depth
+// that swallows the whole batch (32): wait frames and PRP staging come from
+// internal/pool-reused slices on the driver, the FIFO scratch lives on the
+// DB, and completion sweeps reuse the device's sort buffer — so a
+// steady-state GetBatch through the async window allocates nothing. The
+// tracer-off runs also pin down the latency-attribution boundary events
+// (completion readiness stamping, CQ-post timing): attribution support must
+// cost zero allocations when tracing is disabled.
 func TestWindowedGetBatchAllocsSteadyState(t *testing.T) {
-	for trName, tr := range tracers() {
-		t.Run(trName, func(t *testing.T) {
-			cfg := allocConfig(bandslim.Adaptive, bandslim.BackfillPacking, true, tr)
-			cfg.Submission = bandslim.SubmissionConfig{
-				QueueDepth:       8,
-				DoorbellBatch:    4,
-				CoalesceInterval: bandslim.SimMicrosecond,
-			}
-			db, err := bandslim.Open(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer db.Close()
-			const nkeys = 16
-			keys := make([][]byte, nkeys)
-			vals := make([][]byte, nkeys)
-			for i := range keys {
-				keys[i] = []byte(fmt.Sprintf("wk%02d", i))
-				if err := db.Put(keys[i], make([]byte, 128)); err != nil {
+	for _, depth := range []int{8, 32} {
+		for trName, tr := range tracers() {
+			t.Run(fmt.Sprintf("depth=%d/%s", depth, trName), func(t *testing.T) {
+				cfg := allocConfig(bandslim.Adaptive, bandslim.BackfillPacking, true, tr)
+				cfg.Submission = bandslim.SubmissionConfig{
+					QueueDepth:       depth,
+					DoorbellBatch:    4,
+					CoalesceInterval: bandslim.SimMicrosecond,
+				}
+				db, err := bandslim.Open(cfg)
+				if err != nil {
 					t.Fatal(err)
 				}
-				vals[i] = make([]byte, 0, 128)
-			}
-			// Warm the window: frames, per-slot PRP staging, FIFO scratch,
-			// and the device's completion sweep all grow on first use.
-			for r := 0; r < 4; r++ {
-				if _, err := db.GetBatch(keys, vals); err != nil {
-					t.Fatal(err)
+				defer db.Close()
+				const nkeys = 16
+				keys := make([][]byte, nkeys)
+				vals := make([][]byte, nkeys)
+				for i := range keys {
+					keys[i] = []byte(fmt.Sprintf("wk%02d", i))
+					if err := db.Put(keys[i], make([]byte, 128)); err != nil {
+						t.Fatal(err)
+					}
+					vals[i] = make([]byte, 0, 128)
 				}
-			}
-			assertZeroAllocs(t, "GetBatch depth=8", 400, func() {
-				out, err := db.GetBatch(keys, vals)
-				if err != nil || len(out[nkeys-1]) != 128 {
-					t.Fatalf("GetBatch: %v", err)
+				// Warm the window: frames, per-slot PRP staging, FIFO
+				// scratch, and the device's completion sweep all grow on
+				// first use.
+				for r := 0; r < 4; r++ {
+					if _, err := db.GetBatch(keys, vals); err != nil {
+						t.Fatal(err)
+					}
 				}
+				assertZeroAllocs(t, fmt.Sprintf("GetBatch depth=%d", depth), 400, func() {
+					out, err := db.GetBatch(keys, vals)
+					if err != nil || len(out[nkeys-1]) != 128 {
+						t.Fatalf("GetBatch: %v", err)
+					}
+				})
 			})
-		})
+		}
 	}
 }
 

@@ -645,6 +645,10 @@ type Inspection struct {
 	// Both are in first-observation order.
 	OpLatency     []OpLatency
 	MethodLatency []OpLatency
+	// Trace reports the attached ring recorder's health (zero when
+	// Config.Tracer is absent or not a *Recorder). Nonzero Dropped means
+	// latency attribution over the buffer sees a truncated stream.
+	Trace TraceStats
 }
 
 // summarizeSet digests a HistogramSet into the public OpLatency slice.
@@ -662,7 +666,11 @@ func summarizeSet(set *metrics.HistogramSet) []OpLatency {
 func (db *DB) Inspect() Inspection {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return inspectStack(db.st)
+	ins := inspectStack(db.st)
+	if rec, ok := db.cfg.Tracer.(*Recorder); ok && rec != nil {
+		ins.Trace = TraceStats{Buffered: int64(rec.Len()), Dropped: rec.Dropped()}
+	}
+	return ins
 }
 
 // inspectStack builds an Inspection from one stack; the caller must hold

@@ -7,8 +7,10 @@
 //	bandslim-bench -experiment shards [-shards 1,2,4,8] [-json out/]
 //	bandslim-bench -experiment hotpath [-scale 40000] [-json out/]
 //	bandslim-bench -experiment server [-scale 20000] [-shards 4] [-json out/]
+//	bandslim-bench -experiment blame [-scale 20000] [-json out/]
 //	bandslim-bench -experiment all
 //	bandslim-bench -trace out.json [-shards 4]
+//	bandslim-bench -trace-jsonl out.jsonl [-shards 4]
 //	bandslim-bench -metrics-out out.prom -series-out series.csv [-shards 4] [-listen :9090]
 //	bandslim-bench -list
 //
@@ -26,6 +28,15 @@
 // workload with command-level tracing on, writing Chrome trace_event JSON
 // loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing. With
 // -shards the capture runs a ShardedDB and the shards render as processes.
+// -trace-jsonl writes the same capture as one JSON object per event — the
+// input format of `bandslim-cli analyze`, which reconstructs per-op latency
+// attribution offline.
+//
+// The blame experiment sweeps the submission-window depth and attributes
+// every measured op's latency to pipeline stages (host, window wait, fetch,
+// device exec, transfer, NAND, coalescing, reap), writing BENCH_blame.json.
+// It fails hard if any op's stages do not sum exactly to its end-to-end
+// latency.
 //
 // -metrics-out, -series-out, and -listen likewise skip the experiments and
 // run one instrumented workload with the simulated-time metrics sampler on:
@@ -163,6 +174,7 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory to write per-table CSV files")
 		jsonDir    = flag.String("json", "", "directory for BENCH_shards.json (default: current dir)")
 		tracePath  = flag.String("trace", "", "capture a traced workload and write Chrome trace JSON to this path")
+		traceJSONL = flag.String("trace-jsonl", "", "capture a traced workload and write JSONL events to this path (bandslim-cli analyze input)")
 		metricsOut = flag.String("metrics-out", "", "run an instrumented workload and write its Prometheus exposition here")
 		seriesOut  = flag.String("series-out", "", "run an instrumented workload and write its sampled metric series CSV here")
 		listen     = flag.String("listen", "", "serve /metrics and /progress on this address during the instrumented run")
@@ -234,7 +246,7 @@ func main() {
 		return
 	}
 
-	if *tracePath != "" {
+	if *tracePath != "" || *traceJSONL != "" {
 		shardCount := 1
 		if len(counts) > 0 {
 			shardCount = counts[0]
@@ -244,22 +256,33 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
 			os.Exit(1)
 		}
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
-			os.Exit(1)
+		write := func(path string, render func(f *os.File) error, note string) {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+				os.Exit(1)
+			}
+			if err := render(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d events, %d shard(s))%s\n", path, len(events), shardCount, note)
 		}
-		if err := bandslim.WriteChromeTrace(f, events); err != nil {
-			f.Close()
-			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
-			os.Exit(1)
+		if *tracePath != "" {
+			write(*tracePath, func(f *os.File) error {
+				return bandslim.WriteChromeTrace(f, events)
+			}, " — load it at https://ui.perfetto.dev")
 		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
-			os.Exit(1)
+		if *traceJSONL != "" {
+			write(*traceJSONL, func(f *os.File) error {
+				return bandslim.WriteTraceJSONL(f, events)
+			}, " — feed it to bandslim-cli analyze")
 		}
-		fmt.Printf("wrote %s (%d events, %d shard(s)) — load it at https://ui.perfetto.dev\n",
-			*tracePath, len(events), shardCount)
 		return
 	}
 
@@ -298,6 +321,37 @@ func main() {
 			fmt.Printf("  %s: %.2fx\n", k, report.Speedup[k])
 		}
 		fmt.Printf("hotpath experiment completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *experiment == "blame" {
+		start := time.Now()
+		t, points, err := bench.RunBlameSweep(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+		raw, err := bench.BlameSweepJSON(points)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		dir := *jsonDir
+		if dir == "" {
+			dir = "."
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(dir, "BENCH_blame.json")
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+		fmt.Printf("blame experiment completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

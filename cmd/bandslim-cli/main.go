@@ -7,6 +7,7 @@
 //	bandslim-cli [-method adaptive] [-policy backfill]
 //	             [-metrics-interval-us 100] [-metrics-out out.prom] [-series-out out.csv]
 //	bandslim-cli faults [-salt N] [-max-occ N] <plan-file|->   dump a resolved fault schedule
+//	bandslim-cli analyze [-csv out.csv] [-top K] <trace.jsonl|->   per-op latency attribution
 //
 // Commands:
 //
@@ -42,6 +43,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "faults" {
 		runFaults(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		runAnalyze(os.Args[2:])
 		return
 	}
 	var (

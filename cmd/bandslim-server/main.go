@@ -15,7 +15,11 @@
 //
 // Clocking is hybrid: the network edge runs on the wall clock while the
 // simulated device advances its own virtual clock. -metrics-listen serves
-// a combined /metrics exposition carrying both timebases.
+// a combined /metrics exposition carrying both timebases. -pprof serves
+// net/http/pprof for live profiling (on the metrics mux when the addresses
+// match, on its own listener otherwise). -trace N attaches per-shard trace
+// rings of N events: INFO grows a # Trace section with ring health and the
+// live latency-attribution headline, and /metrics gains the blame families.
 //
 // SIGINT/SIGTERM (or the SHUTDOWN command) stop accepting, drain in-flight
 // commands, close every connection, and then close the DB.
@@ -31,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,6 +47,16 @@ import (
 	"bandslim/internal/server"
 )
 
+// registerPprof mounts the net/http/pprof handlers on a non-default mux, so
+// profiling shares (or avoids) the metrics listener per the -pprof flag.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 func main() {
 	var (
 		addr          = flag.String("addr", ":6379", "TCP listen address")
@@ -49,13 +64,15 @@ func main() {
 		window        = flag.Int("window", server.DefaultWindow, "per-connection in-flight command window")
 		method        = flag.String("method", "adaptive", "transfer method: baseline|piggyback|hybrid|adaptive")
 		metricsListen = flag.String("metrics-listen", "", "serve /metrics on this address (empty: off)")
+		pprofListen   = flag.String("pprof", "", "serve net/http/pprof on this address (empty: off; reuses -metrics-listen's mux when equal)")
+		traceCap      = flag.Int("trace", 0, "per-shard trace ring capacity in events (0: tracing off; enables INFO blame and /metrics blame families)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight commands at shutdown")
 		smoke         = flag.Bool("smoke", false, "run a loopback self-test and exit")
 		quiet         = flag.Bool("quiet", false, "suppress lifecycle logging")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *shards, *window, *method, *metricsListen, *drainTimeout, *smoke, *quiet); err != nil {
+	if err := run(*addr, *shards, *window, *method, *metricsListen, *pprofListen, *traceCap, *drainTimeout, *smoke, *quiet); err != nil {
 		fmt.Fprintf(os.Stderr, "bandslim-server: %v\n", err)
 		os.Exit(1)
 	}
@@ -99,7 +116,7 @@ func parseMethod(name string) (bandslim.TransferMethod, error) {
 	return 0, fmt.Errorf("unknown method %q", name)
 }
 
-func run(addr string, shards, window int, method, metricsListen string, drainTimeout time.Duration, smoke, quiet bool) error {
+func run(addr string, shards, window int, method, metricsListen, pprofListen string, traceCap int, drainTimeout time.Duration, smoke, quiet bool) error {
 	m, err := parseMethod(method)
 	if err != nil {
 		return err
@@ -107,7 +124,11 @@ func run(addr string, shards, window int, method, metricsListen string, drainTim
 	cfg := bandslim.DefaultConfig()
 	cfg.Method = m
 	cfg.Submission = submissionForWindow(window)
-	db, err := bandslim.OpenSharded(bandslim.ShardedConfig{Shards: shards, PerShard: cfg})
+	db, err := bandslim.OpenSharded(bandslim.ShardedConfig{
+		Shards:        shards,
+		PerShard:      cfg,
+		TraceCapacity: traceCap,
+	})
 	if err != nil {
 		return err
 	}
@@ -140,6 +161,9 @@ func run(addr string, shards, window int, method, metricsListen string, drainTim
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
+		if pprofListen == metricsListen {
+			registerPprof(mux)
+		}
 		msrv = &http.Server{Addr: metricsListen, Handler: mux}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -148,12 +172,23 @@ func run(addr string, shards, window int, method, metricsListen string, drainTim
 		}()
 		defer msrv.Close()
 	}
+	if pprofListen != "" && pprofListen != metricsListen {
+		mux := http.NewServeMux()
+		registerPprof(mux)
+		psrv := &http.Server{Addr: pprofListen, Handler: mux}
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logf("bandslim-server: pprof listener: %v", err)
+			}
+		}()
+		defer psrv.Close()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	if smoke {
-		err := runSmoke(ln.Addr().String())
+		err := runSmoke(ln.Addr().String(), traceCap > 0)
 		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if serr := srv.Shutdown(ctx); err == nil {
@@ -188,7 +223,9 @@ func run(addr string, shards, window int, method, metricsListen string, drainTim
 }
 
 // runSmoke drives one client session over loopback and checks every reply.
-func runSmoke(addr string) error {
+// With tracing on it also requires INFO's # Trace section: ring health plus
+// the latency-attribution headline reconstructed from the live ring.
+func runSmoke(addr string, traced bool) error {
 	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return err
@@ -229,7 +266,14 @@ func runSmoke(addr string) error {
 		expect(func(rep resp.Reply) bool { return rep.Kind == resp.KindBulk && rep.Null }, "GET", "no-such-key"),
 		expect(func(rep resp.Reply) bool { return rep.Kind == resp.KindInteger && rep.Int == 1 }, "DEL", "smoke-key"),
 		expect(func(rep resp.Reply) bool {
-			return rep.Kind == resp.KindBulk && strings.Contains(string(rep.Str), "sim_time_ns:")
+			if rep.Kind != resp.KindBulk || !strings.Contains(string(rep.Str), "sim_time_ns:") {
+				return false
+			}
+			if !traced {
+				return true
+			}
+			return strings.Contains(string(rep.Str), "trace_buffered:") &&
+				strings.Contains(string(rep.Str), "blame_ops:")
 		}, "INFO"),
 	}
 	for _, err := range steps {

@@ -243,6 +243,9 @@ func (d *Device) ProcessPending(t sim.Time) (sim.Time, error) {
 			end = cEnd
 		}
 		comp.SQHead = d.qp.SQ.Head()
+		// Stamp readiness so the CQ-post trace boundary exists on the
+		// synchronous path too (no coalescing: ready == device-work end).
+		comp.Ready = cEnd
 		if err := d.qp.CQ.Post(comp); err != nil {
 			return end, fmt.Errorf("device: completion queue overflow: %w", err)
 		}

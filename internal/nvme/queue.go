@@ -91,9 +91,11 @@ type Completion struct {
 	// of a read, so short reads are visible to the driver).
 	Result uint32
 	// Ready is simulation bookkeeping, not wire content: the simulated time
-	// the controller posted this entry. The synchronous ProcessPending path
-	// leaves it zero; the windowed ProcessWindow path stamps it so the host
-	// can advance its clock to each completion's arrival out of order.
+	// the controller posted this entry. ProcessPending stamps it with the
+	// command's device-work end; ProcessWindow additionally quantizes it onto
+	// the coalescing grid, so the host can advance its clock to each
+	// completion's arrival out of order and the trace layer can expose the
+	// post time as a latency-attribution boundary.
 	Ready sim.Time
 }
 
@@ -205,7 +207,10 @@ func (q *CompletionQueue) next(i uint16) uint16 {
 	return uint16((int(i) + 1) % len(q.entries))
 }
 
-// Post places a completion at the tail.
+// Post places a completion at the tail. The trace event is stamped with the
+// completion's Ready time when the controller set one — the instant the
+// entry became visible to the host, which span reconstruction uses as the
+// coalescing-delay boundary — falling back to the host clock otherwise.
 func (q *CompletionQueue) Post(c Completion) error {
 	if q.next(q.tail) == q.head {
 		return ErrQueueFull
@@ -213,8 +218,11 @@ func (q *CompletionQueue) Post(c Completion) error {
 	q.entries[q.tail] = c
 	q.tail = q.next(q.tail)
 	if q.tr != nil {
-		now := q.clock.Now()
-		q.tr.Emit(trace.Event{Cat: trace.CatNVMe, Name: trace.EvCQPost, Start: now, End: now, Arg: int64(c.CommandID)})
+		at := c.Ready
+		if at == 0 {
+			at = q.clock.Now()
+		}
+		q.tr.Emit(trace.Event{Cat: trace.CatNVMe, Name: trace.EvCQPost, Start: at, End: at, Arg: int64(c.CommandID)})
 	}
 	return nil
 }

@@ -557,6 +557,21 @@ func (c *conn) infoReply() {
 	b = fmt.Appendf(b, "nand_page_writes:%d\r\n", st.Device.NANDPageWrites)
 	b = fmt.Appendf(b, "write_resp_p99_ns:%d\r\n", int64(st.Host.WriteResp.P99))
 	b = fmt.Appendf(b, "read_resp_p99_ns:%d\r\n", int64(st.Host.ReadResp.P99))
+	if st.Trace.Buffered > 0 || st.Trace.Dropped > 0 {
+		// Tracing is on (ShardedConfig.TraceCapacity): surface ring health
+		// and the live latency-attribution headline.
+		b = append(b, "# Trace\r\n"...)
+		b = fmt.Appendf(b, "trace_buffered:%d\r\ntrace_dropped:%d\r\n", st.Trace.Buffered, st.Trace.Dropped)
+		if rep := c.db.Blame(); rep != nil {
+			b = fmt.Appendf(b, "blame_ops:%d\r\nblame_unclaimed:%d\r\nblame_incomplete:%d\r\n",
+				len(rep.Ops), rep.Unclaimed, rep.Incomplete)
+			b = fmt.Appendf(b, "blame_truncated_events:%d\r\n", rep.TruncatedEvents)
+			for _, cp := range bandslim.BlameCriticalPaths(rep) {
+				b = fmt.Appendf(b, "blame_%s_p99_ns:%d\r\nblame_%s_tail_stage:%s\r\n",
+					cp.Op, int64(cp.P99), cp.Op, cp.Stage)
+			}
+		}
+	}
 	c.info = b
 	c.w.Bulk(b)
 }

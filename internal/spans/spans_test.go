@@ -1,0 +1,240 @@
+package spans
+
+import (
+	"testing"
+
+	"bandslim/internal/sim"
+	"bandslim/internal/trace"
+)
+
+// ev builds one event with an auto-assigned Seq via the stream helper.
+type stream struct {
+	seq uint64
+	evs []trace.Event
+}
+
+func (s *stream) add(cat trace.Category, name trace.Name, start, end sim.Time, arg int64) {
+	s.seq++
+	s.evs = append(s.evs, trace.Event{
+		Seq: s.seq, Cat: cat, Name: name, Start: start, End: end, Arg: arg,
+	})
+}
+
+func checkInvariant(t *testing.T, r *Report) {
+	t.Helper()
+	for i := range r.Ops {
+		op := &r.Ops[i]
+		if op.Residual() != 0 {
+			t.Fatalf("op %s seq=%d: residual %v (stages %v, e2e %v)",
+				op.Name, op.Seq, op.Residual(), op.Stages, op.E2E())
+		}
+		for s, d := range op.Stages {
+			if d < 0 {
+				t.Fatalf("op %s seq=%d: stage %v negative: %v", op.Name, op.Seq, Stage(s), d)
+			}
+		}
+	}
+}
+
+// Synchronous PUT: push → fetch → exec (with nested DMA and NAND) → post →
+// submit span. Every boundary present, so each stage lands exactly.
+func TestAnalyzeSyncPut(t *testing.T) {
+	var s stream
+	s.add(trace.CatNVMe, trace.EvSQPush, 100, 100, 3)
+	s.add(trace.CatNVMe, trace.EvSQFetch, 100, 100, 3)
+	s.add(trace.CatDMA, trace.EvDMAIn, 110, 150, 0)
+	s.add(trace.CatNAND, trace.EvProgram, 150, 350, 0)
+	s.add(trace.CatDevice, trace.EvExec, 100, 400, 3)
+	s.add(trace.CatNVMe, trace.EvCQPost, 400, 400, 3)
+	s.add(trace.CatDriver, trace.EvSubmit, 100, 450, 3)
+	s.add(trace.CatDriver, trace.EvPut, 90, 460, 3)
+
+	r := Analyze(s.evs)
+	checkInvariant(t, r)
+	if len(r.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1", len(r.Ops))
+	}
+	op := r.Ops[0]
+	if op.Commands != 1 {
+		t.Errorf("Commands = %d, want 1", op.Commands)
+	}
+	want := map[Stage]sim.Duration{
+		StageHost:     20, // 90→100 setup + 450→460 return
+		StageDevExec:  60, // exec minus nested DMA and NAND: 100..110 + 350..400
+		StageTransfer: 40,
+		StageNAND:     200,
+		StageReap:     50, // CQ post 400 → submit end 450
+	}
+	for st, d := range want {
+		if op.Stages[st] != d {
+			t.Errorf("stage %v = %v, want %v (all: %v)", st, op.Stages[st], d, op.Stages)
+		}
+	}
+	if op.Stages[StageCoalesce] != 0 || op.Stages[StageWindowWait] != 0 {
+		t.Errorf("sync path leaked queue stages: %v", op.Stages)
+	}
+}
+
+// Windowed GETs: two commands pushed at one host time; one's key misses so
+// only an EvReap fires for it. The exact-span rule must keep the miss from
+// being claimed by the surviving op.
+func TestAnalyzeWindowedExactClaim(t *testing.T) {
+	var s stream
+	// Both pushed at t=100 (host clock frozen during batch build).
+	s.add(trace.CatNVMe, trace.EvSQPush, 100, 100, 1)
+	s.add(trace.CatDriver, trace.EvSubmit, 100, 100, 1) // queued instant
+	s.add(trace.CatNVMe, trace.EvSQPush, 100, 100, 2)
+	s.add(trace.CatDriver, trace.EvSubmit, 100, 100, 2)
+	// Window flush at t=140.
+	s.add(trace.CatNVMe, trace.EvSQFetch, 140, 140, 1)
+	s.add(trace.CatNVMe, trace.EvSQFetch, 140, 140, 2)
+	s.add(trace.CatDevice, trace.EvExec, 140, 200, 1)
+	s.add(trace.CatDevice, trace.EvExec, 160, 230, 2)
+	// Coalescing grid posts both at 250.
+	s.add(trace.CatNVMe, trace.EvCQPost, 250, 250, 1)
+	s.add(trace.CatNVMe, trace.EvCQPost, 250, 250, 2)
+	// CID 1 hits: reap + get share a span. CID 2 misses: reap only.
+	s.add(trace.CatDriver, trace.EvReap, 100, 270, 1)
+	s.add(trace.CatDriver, trace.EvGet, 100, 270, 1)
+	s.add(trace.CatDriver, trace.EvReap, 100, 275, 2)
+
+	r := Analyze(s.evs)
+	checkInvariant(t, r)
+	if len(r.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1", len(r.Ops))
+	}
+	op := r.Ops[0]
+	if op.Commands != 1 {
+		t.Fatalf("exact-span claim took %d commands, want 1 (miss must stay out)", op.Commands)
+	}
+	if op.Stages[StageWindowWait] != 40 {
+		t.Errorf("window_wait = %v, want 40", op.Stages[StageWindowWait])
+	}
+	if op.Stages[StageCoalesce] != 50 {
+		t.Errorf("coalesce = %v, want 50 (exec end 200 → post 250)", op.Stages[StageCoalesce])
+	}
+	if op.Stages[StageReap] != 20 {
+		t.Errorf("reap = %v, want 20 (post 250 → return 270)", op.Stages[StageReap])
+	}
+	// The missed command is unclaimed only after the stream ends.
+	if r.Unclaimed != 1 {
+		t.Errorf("Unclaimed = %d, want 1 (the missed key)", r.Unclaimed)
+	}
+}
+
+// A burst event closes every command pushed at or after its start; the op
+// claims them all by containment.
+func TestAnalyzeBurstClaim(t *testing.T) {
+	var s stream
+	for cid := int64(1); cid <= 3; cid++ {
+		s.add(trace.CatNVMe, trace.EvSQPush, 100, 100, cid)
+		s.add(trace.CatNVMe, trace.EvSQFetch, 100, 100, cid)
+		s.add(trace.CatDevice, trace.EvExec, sim.Time(100+10*cid), sim.Time(150+10*cid), cid)
+		s.add(trace.CatNVMe, trace.EvCQPost, sim.Time(150+10*cid), sim.Time(150+10*cid), cid)
+	}
+	s.add(trace.CatDriver, trace.EvBurst, 100, 200, 3)
+	s.add(trace.CatDriver, trace.EvPut, 95, 210, 0)
+
+	r := Analyze(s.evs)
+	checkInvariant(t, r)
+	if len(r.Ops) != 1 || r.Ops[0].Commands != 3 {
+		t.Fatalf("burst op claimed %d commands, want 3", r.Ops[0].Commands)
+	}
+	if r.Unclaimed != 0 || r.Incomplete != 0 {
+		t.Errorf("unclaimed=%d incomplete=%d, want 0/0", r.Unclaimed, r.Incomplete)
+	}
+}
+
+// A mount mid-stream orphans in-flight commands; ops after recovery must not
+// inherit their intervals.
+func TestAnalyzeMountResetsInFlight(t *testing.T) {
+	var s stream
+	s.add(trace.CatNVMe, trace.EvSQPush, 100, 100, 1)
+	s.add(trace.CatNVMe, trace.EvSQFetch, 100, 100, 1)
+	// Power cut: no completion. Remount, then a clean op with the same CID.
+	s.add(trace.CatDevice, trace.EvMount, 500, 600, 0)
+	s.add(trace.CatNVMe, trace.EvSQPush, 700, 700, 1)
+	s.add(trace.CatNVMe, trace.EvSQFetch, 700, 700, 1)
+	s.add(trace.CatDevice, trace.EvExec, 700, 750, 1)
+	s.add(trace.CatNVMe, trace.EvCQPost, 750, 750, 1)
+	s.add(trace.CatDriver, trace.EvSubmit, 700, 760, 1)
+	s.add(trace.CatDriver, trace.EvPut, 690, 770, 1)
+
+	r := Analyze(s.evs)
+	checkInvariant(t, r)
+	if r.Incomplete != 1 {
+		t.Errorf("Incomplete = %d, want 1 (the crash victim)", r.Incomplete)
+	}
+	if len(r.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1", len(r.Ops))
+	}
+	if op := r.Ops[0]; op.Start != 690 || op.Commands != 1 {
+		t.Errorf("post-recovery op corrupted: %+v", op)
+	}
+}
+
+// Seq gaps count as truncation; duplicate Seqs are skipped and counted.
+func TestAnalyzeSeqAccounting(t *testing.T) {
+	evs := []trace.Event{
+		{Seq: 5, Cat: trace.CatDriver, Name: trace.EvPut, Start: 10, End: 20},
+		{Seq: 5, Cat: trace.CatDriver, Name: trace.EvPut, Start: 10, End: 20},
+		{Seq: 9, Cat: trace.CatDriver, Name: trace.EvPut, Start: 30, End: 40},
+	}
+	r := Analyze(evs)
+	if r.TruncatedEvents != 4+3 {
+		t.Errorf("TruncatedEvents = %d, want 7 (4 before first, 3 in the gap)", r.TruncatedEvents)
+	}
+	if r.DuplicateEvents != 1 {
+		t.Errorf("DuplicateEvents = %d, want 1", r.DuplicateEvents)
+	}
+	if !r.Lossy() {
+		t.Error("truncated stream not Lossy()")
+	}
+	if len(r.Ops) != 2 {
+		t.Errorf("ops = %d, want 2 (duplicate skipped)", len(r.Ops))
+	}
+	checkInvariant(t, r)
+}
+
+// attribute: overlapping intervals resolve by priority, uncovered time goes
+// to host, and the output partitions the window exactly.
+func TestAttributePriorityPartition(t *testing.T) {
+	ivs := []interval{
+		{StageDevExec, 100, 300},
+		{StageNAND, 150, 250},     // wins over dev_exec inside the overlap
+		{StageTransfer, 120, 180}, // wins over dev_exec, loses to nand at 150..180
+		{StageWindowWait, 0, 1000},
+	}
+	st := attribute(50, 400, ivs)
+	want := map[Stage]sim.Duration{
+		StageWindowWait: 150, // 50..100 and 300..400
+		StageDevExec:    70,  // 100..120 and 250..300
+		StageTransfer:   30,  // 120..150
+		StageNAND:       100, // 150..250
+	}
+	var sum sim.Duration
+	for s := Stage(0); s < NumStages; s++ {
+		sum += st[s]
+		if w, ok := want[s]; ok && st[s] != w {
+			t.Errorf("stage %v = %v, want %v", s, st[s], w)
+		} else if !ok && st[s] != 0 {
+			t.Errorf("stage %v = %v, want 0", s, st[s])
+		}
+	}
+	if sum != 350 {
+		t.Errorf("partition sum = %v, want 350", sum)
+	}
+	// Degenerate windows attribute nothing.
+	if z := attribute(100, 100, ivs); z != ([NumStages]sim.Duration{}) {
+		t.Errorf("empty window attributed %v", z)
+	}
+}
+
+// An op with no events inside it (all boundaries lost) charges everything to
+// host — the graceful floor of degradation.
+func TestAttributeNoIntervals(t *testing.T) {
+	st := attribute(10, 110, nil)
+	if st[StageHost] != 100 {
+		t.Errorf("host = %v, want 100", st[StageHost])
+	}
+}

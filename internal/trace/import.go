@@ -1,0 +1,91 @@
+// JSONL import: the inverse of WriteJSONL, so a trace captured in one
+// process (bandslim-bench -trace-jsonl) can be reconstructed in another
+// (bandslim-cli analyze). The reader accepts exactly the fixed key layout
+// the writer emits; category and name strings round-trip through the same
+// String() tables.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bandslim/internal/sim"
+)
+
+// Reverse lookup tables built from the String() methods, so the two stay in
+// lockstep by construction.
+var (
+	catFromString = func() map[string]Category {
+		m := make(map[string]Category, int(numCategories))
+		for c := Category(0); c < numCategories; c++ {
+			m[c.String()] = c
+		}
+		return m
+	}()
+	nameFromString = func() map[string]Name {
+		m := make(map[string]Name, int(numNames))
+		for n := Name(0); n < numNames; n++ {
+			m[n.String()] = n
+		}
+		return m
+	}()
+)
+
+// jsonlEvent mirrors WriteJSONL's key layout.
+type jsonlEvent struct {
+	Seq     uint64 `json:"seq"`
+	Shard   int32  `json:"shard"`
+	Cat     string `json:"cat"`
+	Name    string `json:"name"`
+	Op      uint8  `json:"op"`
+	StartNS int64  `json:"start_ns"`
+	EndNS   int64  `json:"end_ns"`
+	Bytes   int64  `json:"bytes"`
+	Arg     int64  `json:"arg"`
+}
+
+// ReadJSONL parses a stream written by WriteJSONL back into events, in file
+// order. Blank lines are skipped; an unknown category or event name (e.g. a
+// file from a newer build) is an error naming the offending line.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(line, &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		cat, ok := catFromString[je.Cat]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown category %q", lineNo, je.Cat)
+		}
+		name, ok := nameFromString[je.Name]
+		if !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown event name %q", lineNo, je.Name)
+		}
+		out = append(out, Event{
+			Seq:   je.Seq,
+			Shard: je.Shard,
+			Cat:   cat,
+			Name:  name,
+			Op:    je.Op,
+			Start: sim.Time(je.StartNS),
+			End:   sim.Time(je.EndNS),
+			Bytes: je.Bytes,
+			Arg:   je.Arg,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading JSONL: %w", err)
+	}
+	return out, nil
+}

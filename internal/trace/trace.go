@@ -109,6 +109,8 @@ const (
 	// command's in-flight life from submission to its completion being
 	// matched back by CID.
 	EvReap
+
+	numNames
 )
 
 func (n Name) String() string {

@@ -27,6 +27,7 @@ package bandslim
 import (
 	"io"
 
+	"bandslim/internal/spans"
 	"bandslim/internal/timeseries"
 	"bandslim/internal/trace"
 )
@@ -89,6 +90,67 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 	return trace.WriteChromeTrace(w, events)
 }
 
+// ReadTraceJSONL parses a stream written by WriteTraceJSONL back into
+// events, in file order — the input side of offline analysis
+// (bandslim-cli analyze).
+func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) {
+	return trace.ReadJSONL(r)
+}
+
+// BlameReport is the result of latency attribution over a trace: per-op
+// stage breakdowns (each op's stages are non-negative and sum exactly to its
+// end-to-end latency), plus the stream-health tallies analysis must not hide
+// (unclaimed commands, in-flight commands, proven event loss).
+type BlameReport = spans.Report
+
+// BlameOp is one reconstructed operation with its stage durations.
+type BlameOp = spans.Op
+
+// BlameStage identifies one latency-attribution stage; see
+// internal/spans for the stage taxonomy and priority rules.
+type BlameStage = spans.Stage
+
+// BlameCriticalPath digests one op kind's p99 tail: the stage that absorbs
+// the largest share of the slowest ops' latency.
+type BlameCriticalPath = spans.CriticalPath
+
+// AnalyzeTrace reconstructs per-operation latency attribution from an event
+// stream (a recorder's buffer, a merged ShardedDB stream, or a re-read JSONL
+// file). Pure and deterministic: the same events yield the same report.
+func AnalyzeTrace(events []TraceEvent) *BlameReport {
+	return spans.Analyze(events)
+}
+
+// BlameTopK returns the k slowest reconstructed ops, worst first.
+func BlameTopK(r *BlameReport, k int) []BlameOp { return spans.TopK(r, k) }
+
+// BlameCriticalPaths digests each op kind's p99 tail.
+func BlameCriticalPaths(r *BlameReport) []BlameCriticalPath {
+	return spans.CriticalPaths(r)
+}
+
+// WriteBlameCSV writes the per-op-kind × per-stage breakdown as a CSV table.
+// Byte-deterministic for identical runs (the blame-smoke gate diffs it).
+func WriteBlameCSV(w io.Writer, r *BlameReport) error { return spans.WriteCSV(w, r) }
+
+// WriteBlameBreakdown writes the human-readable attribution report: stage
+// tables per op kind, the critical-path digest, and the topK slowest ops.
+func WriteBlameBreakdown(w io.Writer, r *BlameReport, topK int) error {
+	return spans.WriteBreakdown(w, r, topK)
+}
+
+// Blame analyzes the DB's attached ring recorder (Config.Tracer must be a
+// *Recorder) and returns the attribution report, or nil when no recorder is
+// attached. The report covers whatever the ring currently holds; check
+// Lossy() before trusting per-op numbers near the buffer's start.
+func (db *DB) Blame() *BlameReport {
+	rec, ok := db.cfg.Tracer.(*Recorder)
+	if !ok || rec == nil {
+		return nil
+	}
+	return spans.Analyze(rec.TraceEvents())
+}
+
 // MetricSeries is a sampled sequence of metric snapshots on a fixed
 // simulated-time grid: sample i sits at t = i × Config.MetricsInterval,
 // starting from a zero-state sample at t = 0. Counters are cumulative;
@@ -124,7 +186,20 @@ func (db *DB) WritePrometheus(w io.Writer) error {
 	db.mu.Lock()
 	snap := snapshotStack(db.st, faults)
 	db.mu.Unlock()
-	return timeseries.WritePrometheus(w, "bandslim", descsFor(faults), snap, histHelp)
+	if err := timeseries.WritePrometheus(w, "bandslim", descsFor(faults), snap, histHelp); err != nil {
+		return err
+	}
+	// Trace-ring health and stage-blame families follow as a separate
+	// section, only when a ring recorder is attached: untraced runs keep
+	// byte-identical exposition (the golden-smoke guarantee).
+	rec, ok := db.cfg.Tracer.(*Recorder)
+	if !ok || rec == nil {
+		return nil
+	}
+	events := rec.TraceEvents()
+	rep := spans.Analyze(events)
+	bsnap := blameSnapshot(int64(len(events)), rec.Dropped(), rep)
+	return timeseries.WritePrometheus(w, "bandslim", traceDescs, bsnap, blameHistHelp)
 }
 
 // WriteServerPrometheus writes a network front-end's counters in the

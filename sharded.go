@@ -137,6 +137,62 @@ func (s *ShardedDB) TraceEvents() []TraceEvent {
 	return MergeTraces(streams...)
 }
 
+// TraceDropped reports the total events evicted across the per-shard trace
+// rings (TraceCapacity > 0), or by a shared PerShard.Tracer recorder. Zero
+// when tracing is off or nothing was evicted.
+func (s *ShardedDB) TraceDropped() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	if len(s.recs) > 0 {
+		for _, rec := range s.recs {
+			total += rec.Dropped()
+		}
+		return total
+	}
+	if rec, ok := s.cfg.PerShard.Tracer.(*Recorder); ok && rec != nil {
+		total = rec.Dropped()
+	}
+	return total
+}
+
+// ResetTrace discards every buffered trace event (and, per ring, restarts
+// the eviction window) without detaching the recorders. Sequence numbers
+// keep running, so an analyzer sees the reset as a truncation, never as a
+// reused number. Benchmarks use it to scope attribution to a measured phase
+// after an unmeasured fill.
+func (s *ShardedDB) ResetTrace() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, rec := range s.recs {
+		rec.Reset()
+	}
+	if len(s.recs) == 0 {
+		if rec, ok := s.cfg.PerShard.Tracer.(*Recorder); ok && rec != nil {
+			rec.Reset()
+		}
+	}
+}
+
+// Blame analyzes the merged per-shard trace stream and returns the latency
+// attribution report, or nil when tracing is not enabled (neither
+// TraceCapacity nor a *Recorder PerShard.Tracer). Per-shard streams are
+// reconstructed independently, so the result is deterministic regardless of
+// shard interleaving.
+func (s *ShardedDB) Blame() *BlameReport {
+	events := s.TraceEvents()
+	if events == nil {
+		s.mu.RLock()
+		rec, ok := s.cfg.PerShard.Tracer.(*Recorder)
+		s.mu.RUnlock()
+		if !ok || rec == nil {
+			return nil
+		}
+		events = rec.TraceEvents()
+	}
+	return AnalyzeTrace(events)
+}
+
 // Tune applies the present (non-nil) fields of a Tuning to every shard in
 // one step. Each shard's driver validates Submission before applying any
 // field, and every shard sees the same Tuning, so an invalid policy fails
@@ -479,7 +535,16 @@ func (s *ShardedDB) Stats() Stats {
 		}
 		wg.Wait()
 	}
-	return mergeSnapshots(snaps)
+	out := mergeSnapshots(snaps)
+	if len(s.recs) > 0 {
+		for _, rec := range s.recs {
+			out.Trace.Buffered += int64(rec.Len())
+			out.Trace.Dropped += rec.Dropped()
+		}
+	} else if rec, ok := s.cfg.PerShard.Tracer.(*Recorder); ok && rec != nil {
+		out.Trace = TraceStats{Buffered: int64(rec.Len()), Dropped: rec.Dropped()}
+	}
+	return out
 }
 
 // mergeSnapshots folds per-shard snapshots into one aggregate Stats.
@@ -607,7 +672,27 @@ func (s *ShardedDB) WritePrometheus(w io.Writer) error {
 	s.mu.RUnlock()
 	descs := descsFor(faults)
 	merged := timeseries.MergeSnapshots(descs, snaps)
-	return timeseries.WritePrometheus(w, "bandslim", descs, merged, histHelp)
+	if err := timeseries.WritePrometheus(w, "bandslim", descs, merged, histHelp); err != nil {
+		return err
+	}
+	// Trace-ring health and stage blame, as on DB: a separate section only
+	// when tracing is on, so untraced runs keep byte-identical exposition.
+	rep := s.Blame()
+	if rep == nil {
+		return nil
+	}
+	var buffered int64
+	s.mu.RLock()
+	if len(s.recs) > 0 {
+		for _, rec := range s.recs {
+			buffered += int64(rec.Len())
+		}
+	} else if rec, ok := s.cfg.PerShard.Tracer.(*Recorder); ok && rec != nil {
+		buffered = int64(rec.Len())
+	}
+	s.mu.RUnlock()
+	bsnap := blameSnapshot(buffered, s.TraceDropped(), rep)
+	return timeseries.WritePrometheus(w, "bandslim", traceDescs, bsnap, blameHistHelp)
 }
 
 // Recover remounts every power-cut shard device in parallel: fresh queues,

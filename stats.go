@@ -8,6 +8,7 @@ import (
 	"bandslim/internal/pcie"
 	"bandslim/internal/shard"
 	"bandslim/internal/sim"
+	"bandslim/internal/spans"
 	"bandslim/internal/timeseries"
 )
 
@@ -110,6 +111,15 @@ type ServerStats struct {
 	BytesOut int64 // bytes written to client sockets
 }
 
+// TraceStats describe the trace ring's health: how many events it holds and
+// how many it evicted. All-zero unless a ring-buffered Recorder is attached
+// (Config.Tracer or ShardedConfig.TraceCapacity). A nonzero Dropped means
+// span reconstruction over the buffer sees a truncated stream.
+type TraceStats struct {
+	Buffered int64 // events currently held by the ring
+	Dropped  int64 // events evicted after the ring filled
+}
+
 // Stats is a point-in-time snapshot of everything the paper measures,
 // grouped by where it is measured.
 type Stats struct {
@@ -119,13 +129,18 @@ type Stats struct {
 	Adaptive AdaptiveStats
 	Faults   FaultStats
 	Server   ServerStats
+	Trace    TraceStats
 }
 
 // Stats snapshots the current counters.
 func (db *DB) Stats() Stats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return stackStats(db.st)
+	s := stackStats(db.st)
+	if rec, ok := db.cfg.Tracer.(*Recorder); ok && rec != nil {
+		s.Trace = TraceStats{Buffered: int64(rec.Len()), Dropped: rec.Dropped()}
+	}
+	return s
 }
 
 // stackStats flattens one stack's counters into a Stats; shared by DB.Stats
@@ -303,6 +318,62 @@ func serverSnapshotValues(s ServerStats) []float64 {
 		float64(s.BytesIn),
 		float64(s.BytesOut),
 	}
+}
+
+// traceDescs declare the trace-ring health and latency-attribution scalar
+// metrics. They ride a separate exposition section appended only when a
+// ring-buffered Recorder is attached, so untraced runs (including the golden
+// smoke) keep byte-identical exporter output.
+var traceDescs = []timeseries.Desc{
+	gauge("trace_buffered", timeseries.AggSum, "Trace events currently held by the ring recorder."),
+	counter("trace_dropped", "Trace events evicted after the ring filled (attribution over the buffer is truncated)."),
+	counter("blame_ops", "Operations reconstructed by latency attribution."),
+	counter("blame_unclaimed_commands", "Completed commands no operation claimed (flushes, scans, missed keys)."),
+	counter("blame_incomplete_commands", "Commands in flight at snapshot time or lost to power cuts."),
+	counter("blame_truncated_events", "Events the trace Seq numbering proves missing."),
+}
+
+// blameHistHelp supplies HELP text for the per-stage blame families.
+var blameHistHelp = func() map[string]string {
+	m := map[string]string{
+		"blame_e2e_ns": "Reconstructed end-to-end op latency by op kind, simulated ns.",
+	}
+	for s := spans.Stage(0); s < spans.NumStages; s++ {
+		m["blame_"+s.String()+"_ns"] = "Attributed " + s.String() + " stage time per op, by op kind, simulated ns."
+	}
+	return m
+}()
+
+// blameSnapshot flattens a span report plus ring health into the exposition
+// snapshot traceDescs describes: scalars in desc order, then one histogram
+// per (stage family, op kind), op kinds in first-observation order.
+func blameSnapshot(buffered, dropped int64, rep *spans.Report) timeseries.Snapshot {
+	agg := spans.Summarize(rep)
+	values := []float64{
+		float64(buffered),
+		float64(dropped),
+		float64(len(rep.Ops)),
+		float64(rep.Unclaimed),
+		float64(rep.Incomplete),
+		float64(rep.TruncatedEvents),
+	}
+	var hists []timeseries.Hist
+	for _, name := range agg.E2E.Names() {
+		hists = append(hists, timeseries.Hist{
+			Key: timeseries.HistKey{Name: "blame_e2e_ns", Label: "op", Value: name},
+			H:   agg.E2E.Get(name),
+		})
+	}
+	for s := spans.Stage(0); s < spans.NumStages; s++ {
+		fam := "blame_" + s.String() + "_ns"
+		for _, name := range agg.Stage[s].Names() {
+			hists = append(hists, timeseries.Hist{
+				Key: timeseries.HistKey{Name: fam, Label: "op", Value: name},
+				H:   agg.Stage[s].Get(name),
+			})
+		}
+	}
+	return timeseries.Snapshot{Values: values, Hists: hists}
 }
 
 // descsFor returns the sampler/exporter column set: the base descriptors,
