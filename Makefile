@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-shards bench-server bench-smoke smoke golden server-smoke modelcheck fuzz-smoke qd qd-smoke blame blame-smoke ci
+.PHONY: all build test race vet fmt bench bench-shards bench-server bench-smoke smoke golden server-smoke modelcheck fuzz-smoke qd qd-smoke blame blame-smoke cache cache-smoke ci
 
 all: build
 
@@ -58,9 +58,10 @@ golden:
 
 # Server smoke: boot bandslim-server on a loopback port, drive
 # PING/SET/GET/DEL/INFO through a real client connection, and require a
-# clean drain — the end-to-end check on the RESP front-end.
+# clean drain — the end-to-end check on the RESP front-end. Runs with the
+# serving cache profile so the tiered read path is exercised end to end.
 server-smoke:
-	$(GO) run ./cmd/bandslim-server -smoke -quiet -trace 65536 -pprof 127.0.0.1:0
+	$(GO) run ./cmd/bandslim-server -smoke -quiet -trace 65536 -cache serving -pprof 127.0.0.1:0
 
 # Model-based differential harness + crash-consistency sweep: 1000+ seeded
 # op sequences against an in-memory reference model, with and without fault
@@ -102,6 +103,22 @@ blame-smoke:
 	diff -u .blame1/blame.csv .blame2/blame.csv
 	rm -rf .blame1 .blame2
 
+# Regenerate the tiered-read-path artifact: device-DRAM cache size × policy
+# × Zipfian skew vs the cache-off baseline (results/BENCH_cache.json). The
+# sweep hard-fails if the hot-read p99 at the default operating point does
+# not improve at least 3x over cache-off.
+cache:
+	$(GO) run ./cmd/bandslim-bench -experiment cache -scale 20000 -seed 42 -json results
+
+# Cache determinism gate: run the sweep twice at smoke scale and require
+# byte-identical JSON — cache state must be driven by the virtual clock and
+# seeds alone, never host scheduling.
+cache-smoke:
+	$(GO) run ./cmd/bandslim-bench -experiment cache -scale 1000 -seed 42 -json .cache1
+	$(GO) run ./cmd/bandslim-bench -experiment cache -scale 1000 -seed 42 -json .cache2
+	diff -u .cache1/BENCH_cache.json .cache2/BENCH_cache.json
+	rm -rf .cache1 .cache2
+
 # Short fixed-budget fuzz pass over the fault-plan parser, the journal
 # decoder/replayer, and the RESP command parser, seeded from the committed
 # testdata corpora.
@@ -110,4 +127,4 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzJournalReplay -fuzztime=5s ./internal/device
 	$(GO) test -run=NONE -fuzz=FuzzRESPParse -fuzztime=5s ./internal/resp
 
-ci: build vet test race smoke bench-smoke server-smoke modelcheck qd-smoke blame-smoke fuzz-smoke
+ci: build vet test race smoke bench-smoke server-smoke modelcheck qd-smoke blame-smoke cache-smoke fuzz-smoke

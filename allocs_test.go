@@ -311,3 +311,123 @@ func TestShardedAllocsSteadyState(t *testing.T) {
 		})
 	}
 }
+
+// TestCacheHitAllocsSteadyState proves the tiered read path stays
+// allocation-free once warm: a device value-cache hit (map lookup, DRAM
+// latency charge, DMA out) and a host-side negative-cache hit (ring lookup,
+// preallocated not-found error) must both cost zero allocations, with and
+// without a tracer attached. The fills themselves may allocate — they are
+// the miss path — so the working set is read once before measuring.
+func TestCacheHitAllocsSteadyState(t *testing.T) {
+	cacheCfg := bandslim.CacheConfig{
+		ValueBytes:      1 << 20,
+		Pages:           32,
+		Policy:          bandslim.Cache2Q,
+		NegativeEntries: 128,
+	}
+	for trName, tr := range tracers() {
+		t.Run(trName, func(t *testing.T) {
+			cfg := allocConfig(bandslim.Adaptive, bandslim.BackfillPacking, true, tr)
+			cfg.Cache = cacheCfg
+			db, err := bandslim.Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			const nkeys = 32
+			keys := make([][]byte, nkeys)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("ck%02d", i))
+				if err := db.Put(keys[i], make([]byte, 128)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Two warm rounds: the first read of each key misses and fills
+			// the cache (a structural allocation), the second promotes it in
+			// 2Q; every measured read is then a pure hit.
+			for r := 0; r < 2; r++ {
+				for _, k := range keys {
+					if _, err := db.Get(k); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			base := db.Stats().Cache.Hits
+			i := 0
+			assertZeroAllocs(t, "Get cache hit", 400, func() {
+				v, err := db.Get(keys[i%nkeys])
+				if err != nil || len(v) != 128 {
+					t.Fatalf("Get: %d bytes, %v", len(v), err)
+				}
+				i++
+			})
+			if hits := db.Stats().Cache.Hits - base; hits == 0 {
+				t.Error("measured reads never hit the value cache")
+			}
+
+			// Negative-cache hits: two misses arm and admit the key, every
+			// later Get resolves host-side from the recent-miss ring.
+			ghost := []byte("ck-ghost")
+			for r := 0; r < 3; r++ {
+				if _, err := db.Get(ghost); !bandslim.IsNotFound(err) {
+					t.Fatalf("Get(ghost): %v, want not-found", err)
+				}
+			}
+			nbase := db.Stats().Cache.NegHits
+			assertZeroAllocs(t, "Get negative hit", 400, func() {
+				if _, err := db.Get(ghost); !bandslim.IsNotFound(err) {
+					t.Fatalf("Get(ghost): %v, want not-found", err)
+				}
+			})
+			if hits := db.Stats().Cache.NegHits - nbase; hits == 0 {
+				t.Error("measured misses never hit the negative cache")
+			}
+		})
+	}
+}
+
+// TestShardedCacheHitAllocsSteadyState repeats the cache-hit assertion
+// through the sharded front-end: the shard worker hand-off and the per-shard
+// caches must add nothing to the hit path.
+func TestShardedCacheHitAllocsSteadyState(t *testing.T) {
+	for trName, tr := range tracers() {
+		t.Run(trName, func(t *testing.T) {
+			cfg := allocConfig(bandslim.Adaptive, bandslim.BackfillPacking, true, tr)
+			cfg.Cache = bandslim.CacheConfig{
+				ValueBytes:      1 << 20,
+				Policy:          bandslim.CacheLRU,
+				NegativeEntries: 128,
+			}
+			s, err := bandslim.OpenSharded(bandslim.ShardedConfig{Shards: 2, PerShard: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			const nkeys = 32
+			keys := make([][]byte, nkeys)
+			for i := range keys {
+				keys[i] = []byte(fmt.Sprintf("sc%02d", i))
+				if err := s.Put(keys[i], make([]byte, 128)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, k := range keys {
+				if _, err := s.Get(k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			base := s.Stats().Cache.Hits
+			i := 0
+			assertZeroAllocs(t, "ShardedDB.Get cache hit", 400, func() {
+				v, err := s.Get(keys[i%nkeys])
+				if err != nil || len(v) != 128 {
+					t.Fatalf("Get: %d bytes, %v", len(v), err)
+				}
+				i++
+			})
+			if hits := s.Stats().Cache.Hits - base; hits == 0 {
+				t.Error("measured reads never hit the value cache")
+			}
+		})
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 
+	"bandslim/internal/cache"
 	"bandslim/internal/device"
 	"bandslim/internal/driver"
 	"bandslim/internal/metrics"
@@ -96,6 +97,36 @@ type ConfigError = driver.ConfigError
 // together after validation. See DB.Tune / ShardedDB.Tune.
 type Tuning = driver.Tuning
 
+// CacheConfig sizes the tiered read path: the simulated device-DRAM read
+// cache (a value tier for vLog entries and a page tier for SSTable pages,
+// both behind a pluggable eviction policy) plus the host-side negative cache
+// that short-circuits known-missing keys before any NVMe command is built.
+// The zero value disables every tier and keeps the simulation byte-identical
+// to a cache-free build.
+type CacheConfig = cache.Config
+
+// CachePolicy selects the device read cache's eviction policy.
+type CachePolicy = cache.Kind
+
+// Cache eviction policies.
+const (
+	// CacheLRU evicts the least-recently-used entry.
+	CacheLRU = cache.LRU
+	// CacheCLOCK approximates LRU with a one-bit clock hand.
+	CacheCLOCK = cache.CLOCK
+	// Cache2Q is the scan-resistant two-queue policy: entries earn a place
+	// in the hot queue only on a second touch.
+	Cache2Q = cache.TwoQ
+)
+
+// ParseCachePolicy parses a policy name ("lru", "clock", "2q").
+func ParseCachePolicy(s string) (CachePolicy, error) { return cache.ParseKind(s) }
+
+// ServingCacheConfig returns the serving-profile cache sizing: a 4 MiB LRU
+// value tier, a 64-page SSTable tier, and a 1024-entry negative cache — the
+// operating point bandslim-server's --cache flag enables.
+func ServingCacheConfig() CacheConfig { return cache.ServingProfile() }
+
 // SimTime is a point on the simulated clock (nanoseconds since open); DB.Now
 // and MetricSample.T use it.
 type SimTime = sim.Time
@@ -165,6 +196,12 @@ type Config struct {
 	// The zero value means DefaultRetryPolicy; a negative MaxRetries disables
 	// retries entirely.
 	Retry RetryPolicy
+	// Cache arms the tiered read path: device-DRAM value/page caches plus
+	// the host-side negative cache. The zero value (the default) disables
+	// every tier at zero cost — timings, allocations, and exporter output
+	// stay byte-identical to a cache-free run. Validated at Open. A non-zero
+	// Cache here overrides Device.Cache.
+	Cache CacheConfig
 }
 
 // DefaultConfig returns the paper's headline configuration: adaptive
@@ -212,6 +249,9 @@ func stackOptions(cfg Config) shard.Options {
 	if sub == (SubmissionConfig{}) && cfg.Pipelined {
 		sub = driver.PipelinedSubmission()
 	}
+	if cfg.Cache != (CacheConfig{}) {
+		dcfg.Cache = cfg.Cache
+	}
 	return shard.Options{
 		Device:     dcfg,
 		Method:     cfg.Method,
@@ -223,6 +263,13 @@ func stackOptions(cfg Config) shard.Options {
 	}
 }
 
+// cacheEnabled reports whether the normalized config arms any read-cache
+// tier — the switch that adds the cache_* exporter columns. Cache-free runs
+// keep byte-identical exposition (the golden-smoke guarantee).
+func cacheEnabled(cfg Config) bool {
+	return stackOptions(cfg).Device.Cache.Enabled()
+}
+
 // Open builds the full stack.
 func Open(cfg Config) (*DB, error) {
 	st, err := shard.NewStack(stackOptions(cfg))
@@ -232,8 +279,9 @@ func Open(cfg Config) (*DB, error) {
 	db := &DB{cfg: cfg, st: st}
 	if cfg.MetricsInterval > 0 {
 		faults := cfg.Faults != nil
-		db.sampler = timeseries.NewSampler(cfg.MetricsInterval, descsFor(faults),
-			func() timeseries.Snapshot { return snapshotStack(st, faults) })
+		cached := cacheEnabled(cfg)
+		db.sampler = timeseries.NewSampler(cfg.MetricsInterval, descsFor(faults, cached),
+			func() timeseries.Snapshot { return snapshotStack(st, faults, cached) })
 	}
 	return db, nil
 }
@@ -411,6 +459,22 @@ func (db *DB) getBatchWindowed(keys, vals [][]byte, miss []bool) (int, error) {
 		}
 		if next == len(keys) {
 			return n, nil
+		}
+		// A known-missing key resolves host-side: no command is built and no
+		// simulated time passes, exactly as Driver.Get short-circuits the
+		// serial path.
+		if drv.NegativeKnown(keys[next]) {
+			if miss == nil {
+				drv.DrainWindow()
+				db.poll()
+				return n, driver.ErrNegativeHit
+			}
+			miss[next] = true
+			vals[next] = vals[next][:0]
+			n++
+			next++
+			db.poll()
+			continue
 		}
 		h, err := drv.StartGet(keys[next])
 		if err != nil {

@@ -8,6 +8,7 @@
 //	bandslim-bench -experiment hotpath [-scale 40000] [-json out/]
 //	bandslim-bench -experiment server [-scale 20000] [-shards 4] [-json out/]
 //	bandslim-bench -experiment blame [-scale 20000] [-json out/]
+//	bandslim-bench -experiment cache [-scale 20000] [-json out/]
 //	bandslim-bench -experiment all
 //	bandslim-bench -trace out.json [-shards 4]
 //	bandslim-bench -trace-jsonl out.jsonl [-shards 4]
@@ -37,6 +38,11 @@
 // device exec, transfer, NAND, coalescing, reap), writing BENCH_blame.json.
 // It fails hard if any op's stages do not sum exactly to its end-to-end
 // latency.
+//
+// The cache experiment sweeps the device-DRAM read cache (size × policy ×
+// Zipfian skew) against the cache-off read path, writing BENCH_cache.json.
+// It fails hard if the hot-read p99 at the default operating point does not
+// improve at least 3x over cache-off.
 //
 // -metrics-out, -series-out, and -listen likewise skip the experiments and
 // run one instrumented workload with the simulated-time metrics sampler on:
@@ -383,6 +389,37 @@ func main() {
 		}
 		fmt.Println("wrote", path)
 		fmt.Printf("qd experiment completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *experiment == "cache" {
+		start := time.Now()
+		t, points, err := bench.RunCacheSweep(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+		raw, err := bench.CacheSweepJSON(points)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		dir := *jsonDir
+		if dir == "" {
+			dir = "."
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(dir, "BENCH_cache.json")
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+		fmt.Printf("cache experiment completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

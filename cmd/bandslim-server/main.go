@@ -13,6 +13,12 @@
 // per-connection in-flight windows (-window) bound memory and push
 // backpressure onto clients through TCP flow control.
 //
+// -cache enables the tiered read path: a simulated device-DRAM value/page
+// cache plus a host-side negative cache that short-circuits known-miss GETs
+// and DEL existence probes before any NVMe command is issued. "serving"
+// picks the default profile; a policy name (lru|clock|2q) selects the
+// eviction policy; "off" (the default) keeps the seed read path.
+//
 // Clocking is hybrid: the network edge runs on the wall clock while the
 // simulated device advances its own virtual clock. -metrics-listen serves
 // a combined /metrics exposition carrying both timebases. -pprof serves
@@ -63,6 +69,7 @@ func main() {
 		shards        = flag.Int("shards", 4, "simulated device shards")
 		window        = flag.Int("window", server.DefaultWindow, "per-connection in-flight command window")
 		method        = flag.String("method", "adaptive", "transfer method: baseline|piggyback|hybrid|adaptive")
+		cacheProfile  = flag.String("cache", "off", "read cache: off|serving|lru|clock|2q (serving = 4MiB device-DRAM value cache + 64-page cache + negative cache; a policy name uses the serving profile with that eviction policy)")
 		metricsListen = flag.String("metrics-listen", "", "serve /metrics on this address (empty: off)")
 		pprofListen   = flag.String("pprof", "", "serve net/http/pprof on this address (empty: off; reuses -metrics-listen's mux when equal)")
 		traceCap      = flag.Int("trace", 0, "per-shard trace ring capacity in events (0: tracing off; enables INFO blame and /metrics blame families)")
@@ -72,7 +79,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*addr, *shards, *window, *method, *metricsListen, *pprofListen, *traceCap, *drainTimeout, *smoke, *quiet); err != nil {
+	if err := run(*addr, *shards, *window, *method, *cacheProfile, *metricsListen, *pprofListen, *traceCap, *drainTimeout, *smoke, *quiet); err != nil {
 		fmt.Fprintf(os.Stderr, "bandslim-server: %v\n", err)
 		os.Exit(1)
 	}
@@ -101,6 +108,24 @@ func submissionForWindow(window int) bandslim.SubmissionConfig {
 	}
 }
 
+// parseCache maps the -cache flag to a cache config: off, the serving
+// profile, or the serving profile with a specific eviction policy.
+func parseCache(name string) (bandslim.CacheConfig, error) {
+	switch strings.ToLower(name) {
+	case "", "off":
+		return bandslim.CacheConfig{}, nil
+	case "serving":
+		return bandslim.ServingCacheConfig(), nil
+	}
+	pol, err := bandslim.ParseCachePolicy(name)
+	if err != nil {
+		return bandslim.CacheConfig{}, fmt.Errorf("unknown cache profile %q (want off|serving|lru|clock|2q)", name)
+	}
+	cc := bandslim.ServingCacheConfig()
+	cc.Policy = pol
+	return cc, nil
+}
+
 // parseMethod maps the -method flag to a transfer method.
 func parseMethod(name string) (bandslim.TransferMethod, error) {
 	switch strings.ToLower(name) {
@@ -116,14 +141,19 @@ func parseMethod(name string) (bandslim.TransferMethod, error) {
 	return 0, fmt.Errorf("unknown method %q", name)
 }
 
-func run(addr string, shards, window int, method, metricsListen, pprofListen string, traceCap int, drainTimeout time.Duration, smoke, quiet bool) error {
+func run(addr string, shards, window int, method, cacheProfile, metricsListen, pprofListen string, traceCap int, drainTimeout time.Duration, smoke, quiet bool) error {
 	m, err := parseMethod(method)
+	if err != nil {
+		return err
+	}
+	cc, err := parseCache(cacheProfile)
 	if err != nil {
 		return err
 	}
 	cfg := bandslim.DefaultConfig()
 	cfg.Method = m
 	cfg.Submission = submissionForWindow(window)
+	cfg.Cache = cc
 	db, err := bandslim.OpenSharded(bandslim.ShardedConfig{
 		Shards:        shards,
 		PerShard:      cfg,

@@ -142,8 +142,11 @@ func crashVerify(t *testing.T, db *bandslim.DB, acked map[string][]byte, cut boo
 // runCrashPoint executes the workload with one power cut injected at the
 // given site/occurrence, verifies, and returns the state dump. The cut
 // occurrence also picks the submission queue depth (rotating through 1, 4,
-// and 8 via mcSubmission), so the sweep proves crash recovery at every
-// depth; both determinism runs of a point share its depth.
+// and 8 via mcSubmission) and the read-cache configuration (rotating through
+// off, LRU, and 2Q via mcCache — device DRAM is volatile, so every cut also
+// proves the caches drop and repopulate coherently), so the sweep covers
+// every depth and cache tier; both determinism runs of a point share its
+// depth and cache config.
 func runCrashPoint(t *testing.T, site bandslim.FaultSite, nth int) []byte {
 	t.Helper()
 	plan := &bandslim.FaultPlan{
@@ -152,6 +155,7 @@ func runCrashPoint(t *testing.T, site bandslim.FaultSite, nth int) []byte {
 	}
 	cfg := tinyFaultConfig(plan)
 	cfg.Submission = mcSubmission(uint64(nth))
+	cfg.Cache = mcCache(uint64(nth))
 	db, err := bandslim.Open(cfg)
 	if err != nil {
 		t.Fatalf("open: %v", err)

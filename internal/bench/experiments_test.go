@@ -55,7 +55,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := Experiments()
-	if len(ids) != 23 {
+	if len(ids) != 24 {
 		t.Fatalf("Experiments() = %v", ids)
 	}
 }

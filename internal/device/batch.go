@@ -81,6 +81,7 @@ func (d *Device) execBatchWrite(t sim.Time, cmd nvme.Command) (int, sim.Time, er
 			return count, end, err
 		}
 		rest = next
+		d.invalidateValue(key)
 		if d.cfg.NANDEnabled {
 			// Unpacking: every record is copied out of the staging
 			// buffer into the packed vLog buffer, byte-granularly

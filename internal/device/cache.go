@@ -1,0 +1,143 @@
+package device
+
+// Device-DRAM read-cache wiring: the value tier intercepts execRead before
+// the LSM walk, and cachingStore interposes the page tier between the tree
+// and its PageStore. Both charge the configured device-DRAM hit latency on
+// the virtual clock instead of NAND + channel occupancy, and both are
+// strictly invalidated on every mutation so the simulation stays
+// semantically identical to a cache-less device.
+
+import (
+	"bandslim/internal/cache"
+	"bandslim/internal/lsm"
+	"bandslim/internal/sim"
+	"bandslim/internal/trace"
+)
+
+// cachingStore wraps the tree's PageStore with the page-granular device
+// tier. With no cache attached it is a pure pass-through — identical timing,
+// identical allocations — so the wrapper is always installed and the cache
+// can be attached or detached by Tune at runtime. dev is bound after
+// construction (the store exists before the Device does).
+type cachingStore struct {
+	inner lsm.PageStore
+	pages *cache.Pages
+	dev   *Device
+}
+
+func (s *cachingStore) ReadPage(t sim.Time, page int) ([]byte, sim.Time, error) {
+	if s.pages == nil {
+		return s.inner.ReadPage(t, page)
+	}
+	d := s.dev
+	if data, ok := s.pages.Get(page); ok {
+		d.stats.PageCacheHits.Inc()
+		end := t.Add(d.cacheLat)
+		if d.tr != nil {
+			d.tr.Emit(trace.Event{Cat: trace.CatDevice, Name: trace.EvCacheHit, Start: t, End: end, Bytes: int64(len(data))})
+		}
+		return data, end, nil
+	}
+	d.stats.PageCacheMisses.Inc()
+	data, end, err := s.inner.ReadPage(t, page)
+	if err != nil {
+		return data, end, err
+	}
+	d.noteEvictions(end, s.pages.Put(page, data))
+	return data, end, nil
+}
+
+// WritePage and TrimPage invalidate before delegating: the LSM recycles page
+// numbers after commits, so a stale image under a reused number would be
+// served as a different table's page.
+func (s *cachingStore) WritePage(t sim.Time, page int, data []byte) (sim.Time, error) {
+	if s.pages != nil && s.pages.Invalidate(page) {
+		s.dev.stats.CacheInvalidations.Inc()
+	}
+	return s.inner.WritePage(t, page, data)
+}
+
+func (s *cachingStore) TrimPage(page int) error {
+	if s.pages != nil && s.pages.Invalidate(page) {
+		s.dev.stats.CacheInvalidations.Inc()
+	}
+	return s.inner.TrimPage(page)
+}
+
+func (s *cachingStore) PageSize() int { return s.inner.PageSize() }
+func (s *cachingStore) Pages() int    { return s.inner.Pages() }
+
+// SetCache swaps the device's read-cache configuration at runtime (the
+// Tuning path). Both tiers restart cold; an invalid config is rejected
+// without touching the running caches.
+func (d *Device) SetCache(cfg cache.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	d.cfg.Cache = cfg
+	d.cacheLat = cfg.EffectiveHitLatency()
+	d.vcache = nil
+	if cfg.ValueBytes > 0 {
+		d.vcache = cache.NewValues(cfg.ValueBytes, cache.NewPolicy(cfg.Policy))
+	}
+	d.pstore.pages = nil
+	if cfg.Pages > 0 {
+		d.pstore.pages = cache.NewPages(cfg.Pages, cache.NewPolicy(cfg.Policy))
+	}
+	return nil
+}
+
+// CacheConfig reports the device's active read-cache configuration.
+func (d *Device) CacheConfig() cache.Config { return d.cfg.Cache }
+
+// invalidateValue drops key from the value tier (overwrite, delete, batch
+// record, GC relocation).
+func (d *Device) invalidateValue(key []byte) {
+	if d.vcache != nil && d.vcache.Invalidate(key) {
+		d.stats.CacheInvalidations.Inc()
+	}
+}
+
+// fillValue admits a freshly-read value after a miss.
+func (d *Device) fillValue(t sim.Time, key, value []byte) {
+	if d.vcache == nil {
+		return
+	}
+	evicted, _ := d.vcache.Put(key, value)
+	d.noteEvictions(t, evicted)
+}
+
+// noteEvictions tallies evictions from either tier and emits the trace
+// marker blame/forensics tools key off.
+func (d *Device) noteEvictions(t sim.Time, n int) {
+	if n <= 0 {
+		return
+	}
+	d.stats.CacheEvictions.Add(int64(n))
+	if d.tr != nil {
+		d.tr.Emit(trace.Event{Cat: trace.CatDevice, Name: trace.EvCacheEvict, Start: t, End: t, Arg: int64(n)})
+	}
+}
+
+// dropValueCache empties the value tier, counting the drops as
+// invalidations. Flush uses it for the strict invalidation protocol: the
+// flush moves the battery-backed vLog buffer to NAND, and the cache model
+// does not carry entries across that boundary.
+func (d *Device) dropValueCache() {
+	if d.vcache == nil {
+		return
+	}
+	d.stats.CacheInvalidations.Add(int64(d.vcache.Len()))
+	d.vcache.Reset()
+}
+
+// dropCaches empties both device tiers without counters: device DRAM is
+// volatile, so a power cut simply erases them.
+func (d *Device) dropCaches() {
+	if d.vcache != nil {
+		d.vcache.Reset()
+	}
+	if d.pstore.pages != nil {
+		d.pstore.pages.Reset()
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"bandslim/internal/cache"
 	"bandslim/internal/dma"
 	"bandslim/internal/fault"
 	"bandslim/internal/ftl"
@@ -40,6 +41,10 @@ type Config struct {
 	NANDEnabled bool
 	// QueueDepth sizes the SQ/CQ rings.
 	QueueDepth int
+	// Cache configures the simulated device-DRAM read tier (value +
+	// SSTable-page caches). The zero value disables it, leaving timing and
+	// allocations identical to a cache-less device.
+	Cache cache.Config
 }
 
 // DefaultConfig returns a device matching the evaluation platform: Cosmos+
@@ -76,6 +81,14 @@ type Stats struct {
 	PowerCuts         metrics.Counter // power-cut faults taken
 	Mounts            metrics.Counter // recovery mounts performed
 	ReplayedRecords   metrics.Counter // journal records replayed at mount
+
+	// Device-DRAM read-cache tallies (zero while the cache is disabled).
+	CacheHits          metrics.Counter // value-tier hits (reads served from DRAM)
+	CacheMisses        metrics.Counter // value-tier misses (reads that walked the LSM)
+	PageCacheHits      metrics.Counter // SSTable-page-tier hits
+	PageCacheMisses    metrics.Counter // SSTable-page-tier misses
+	CacheEvictions     metrics.Counter // entries evicted across both tiers
+	CacheInvalidations metrics.Counter // entries dropped by the strict invalidation protocol
 }
 
 // pendingWrite reassembles a value spanning multiple commands (§3.3.1: the
@@ -113,6 +126,12 @@ type Device struct {
 	// replayed at mount (see journal.go).
 	dead bool
 	jnl  journal
+	// Device-DRAM read cache: vcache serves whole vLog entries before the
+	// LSM walk, pstore interposes the SSTable-page tier (pass-through when
+	// detached), cacheLat is the per-hit DRAM access charge.
+	vcache   *cache.Values
+	pstore   *cachingStore
+	cacheLat sim.Duration
 
 	// Scratch reused across commands. The controller executes commands one at
 	// a time (single-owner firmware), and §3.3.1's contract of one open write
@@ -158,7 +177,10 @@ func New(cfg Config, clock *sim.Clock, link *pcie.Link, hostMem *nvme.HostMemory
 	if err != nil {
 		return nil, err
 	}
-	tree, err := lsm.NewTree(cfg.LSM, store)
+	// The caching wrapper is always interposed (pure pass-through while no
+	// page cache is attached) so Tune can enable the tier on a live device.
+	pstore := &cachingStore{inner: store}
+	tree, err := lsm.NewTree(cfg.LSM, pstore)
 	if err != nil {
 		return nil, err
 	}
@@ -173,6 +195,11 @@ func New(cfg Config, clock *sim.Clock, link *pcie.Link, hostMem *nvme.HostMemory
 		tree:    tree,
 		hostMem: hostMem,
 		qp:      nvme.NewQueuePair(cfg.QueueDepth),
+		pstore:  pstore,
+	}
+	pstore.dev = d
+	if err := d.SetCache(cfg.Cache); err != nil {
+		return nil, err
 	}
 	// A committed tree flush is the durability point: acknowledged records
 	// are on flash, so the battery-backed journal empties.
@@ -433,6 +460,8 @@ func (d *Device) powerCut(t sim.Time) {
 	d.dead = true
 	d.pending = nil
 	d.iter = nil
+	// Device DRAM is volatile: both cache tiers vanish with the power.
+	d.dropCaches()
 	d.stats.PowerCuts.Inc()
 	if d.tr != nil {
 		d.tr.Emit(trace.Event{Cat: trace.CatDevice, Name: trace.EvPowerCut, Start: t, End: t})
@@ -646,6 +675,10 @@ func (d *Device) execTransfer(t sim.Time, cmd nvme.Command) (sim.Time, error) {
 
 // commitWrite places the reassembled value and indexes it.
 func (d *Device) commitWrite(pw *pendingWrite) (sim.Time, error) {
+	// Invalidate before any mutation: if the vLog append or the index
+	// insert is interrupted mid-way, the cache must already have forgotten
+	// the old value.
+	d.invalidateValue(pw.key)
 	end := pw.reached
 	if d.cfg.NANDEnabled {
 		var addr vlog.Addr
@@ -684,6 +717,24 @@ func (d *Device) execRead(t sim.Time, cmd nvme.Command) (int, sim.Time, error) {
 	if len(key) == 0 {
 		return 0, t, errBadField
 	}
+	if d.vcache != nil {
+		if value, ok := d.vcache.Get(key); ok {
+			// Device-DRAM hit: charge the DRAM access instead of the LSM
+			// walk + vLog read, then DMA out as usual.
+			d.stats.CacheHits.Inc()
+			end := t.Add(d.cacheLat)
+			if d.tr != nil {
+				d.tr.Emit(trace.Event{Cat: trace.CatDevice, Name: trace.EvCacheHit, Op: byte(cmd.Opcode()), Start: t, End: end, Bytes: int64(len(value))})
+			}
+			end, err := d.transferOut(end, cmd, value)
+			if err != nil {
+				return 0, end, err
+			}
+			d.stats.ReadsCompleted.Inc()
+			return len(value), end, nil
+		}
+		d.stats.CacheMisses.Inc()
+	}
 	e, ok, end, err := d.tree.Get(t, key)
 	if err != nil {
 		return 0, t, err
@@ -700,6 +751,7 @@ func (d *Device) execRead(t sim.Time, cmd nvme.Command) (int, sim.Time, error) {
 	if err != nil {
 		return 0, end, err
 	}
+	d.fillValue(end, key, value)
 	d.stats.ReadsCompleted.Inc()
 	return len(value), end, nil
 }
@@ -719,6 +771,7 @@ func (d *Device) execDelete(t sim.Time, cmd nvme.Command) (sim.Time, error) {
 	if len(key) == 0 {
 		return t, errBadField
 	}
+	d.invalidateValue(key)
 	end := t
 	if d.cfg.NANDEnabled {
 		d.jnl.append(key, 0, 0, true)
@@ -778,6 +831,7 @@ func (d *Device) execFlush(t sim.Time) (sim.Time, error) {
 	if !d.cfg.NANDEnabled {
 		return t, nil
 	}
+	d.dropValueCache()
 	end, err := d.vlog.Flush(t)
 	if err != nil {
 		return end, err

@@ -81,6 +81,10 @@ func (b *Batcher) Put(key, value []byte) error {
 			return err
 		}
 	}
+	// From this point the key may become resident (once the batch flushes),
+	// so the negative cache must stop short-circuiting it now — a Get
+	// between buffer and flush reads through and learns the truth.
+	b.d.negForget(key)
 	// The arena never reallocates in steady state (capacity covers
 	// maxOps*MaxKeySize), so the sub-slices in b.keys stay valid.
 	start := len(b.keyArena)

@@ -128,6 +128,8 @@ type Stats struct {
 	Retries          metrics.Counter // retryable completions re-submitted
 	RetriesExhausted metrics.Counter // commands that failed every retry
 	Recoveries       metrics.Counter // device mounts performed after power loss
+	NegativeHits     metrics.Counter // Gets short-circuited by the negative cache
+	NegativeLearned  metrics.Counter // keys admitted to the recent-miss ring
 	// PerOp breaks command round-trip latency down by NVMe opcode;
 	// PerMethod breaks PUT response time down by the transfer mode chosen.
 	PerOp     *metrics.HistogramSet
@@ -154,6 +156,9 @@ type Driver struct {
 	nextID    uint16
 	stats     Stats
 	tr        trace.Tracer
+	// neg is the host-side negative cache (nil when disabled): known-miss
+	// Gets fail fast here without issuing any NVMe command. See negcache.go.
+	neg *negCache
 
 	// Asynchronous window state (sub.QueueDepth >= 2): per-command wait
 	// frames and their staging slots, the in-flight count, and the
@@ -174,6 +179,9 @@ type Driver struct {
 	// readBuf receives gathered GET/NEXT/Identify payloads. Get and Next
 	// return views into it, valid until the next driver operation.
 	readBuf []byte
+	// keyScratch re-extracts a command's key on the windowed not-found path
+	// (the negative cache learns from it without allocating).
+	keyScratch []byte
 	// cmdScratch backs the per-op command bursts (inline tails); compScratch
 	// backs submitBurst's completion slice.
 	cmdScratch  []nvme.Command
@@ -420,6 +428,9 @@ func (d *Driver) stagePayload(value []byte) (prp nvme.PRPList, fresh bool, err e
 // Put writes one key-value pair, choosing the transfer strategy per the
 // configured method, and records the response time.
 func (d *Driver) Put(key, value []byte) error {
+	// The key may exist from here on; forgetting before any device work
+	// keeps the negative cache safe even if the write fails mid-way.
+	d.negForget(key)
 	start := d.clock.Now()
 	mode := d.choose(len(value))
 	var err error
@@ -634,6 +645,11 @@ const MaxValueSize = 64 * 1024
 // and must be copied by callers that retain it (caller-owned semantics; the
 // DB layer's GetInto does the copy for concurrent use).
 func (d *Driver) Get(key []byte) ([]byte, error) {
+	// Known-miss fast path: no command is built, nothing reaches the wire,
+	// and no simulated time passes — the host answers from its own cache.
+	if d.NegativeKnown(key) {
+		return nil, ErrNegativeHit
+	}
 	start := d.clock.Now()
 	prp := d.staging().WithPayload(MaxValueSize)
 	var cmd nvme.Command
@@ -651,6 +667,9 @@ func (d *Driver) Get(key []byte) ([]byte, error) {
 		return nil, err
 	}
 	if err := comp.Status.Err(); err != nil {
+		if comp.Status == nvme.StatusKeyNotFound {
+			d.negLearn(key)
+		}
 		return nil, err
 	}
 	// Gather exactly the bytes the device reported; stale staging bytes
@@ -686,6 +705,9 @@ func (d *Driver) Delete(key []byte) error {
 	if err := comp.Status.Err(); err != nil {
 		return err
 	}
+	// The device acknowledged the tombstone: the key is now authoritatively
+	// missing, so it enters the ring without bloom admission.
+	d.negInsert(key)
 	d.stats.Deletes.Inc()
 	if d.tr != nil {
 		d.tr.Emit(trace.Event{Cat: trace.CatDriver, Name: trace.EvDelete, Op: byte(nvme.OpKVDelete), Start: start, End: d.clock.Now()})
@@ -800,6 +822,9 @@ func (d *Driver) Recover() error {
 		d.frames[i] = frame{}
 	}
 	d.inflight, d.unrung = 0, 0
+	// Journal replay can restore writes whose acknowledgment the power cut
+	// swallowed, so every learned miss is suspect.
+	d.negClear()
 	end, err := d.dev.Mount(d.clock.Now())
 	d.clock.AdvanceTo(end.Add(d.link.Model.CommandRoundTrip))
 	d.stats.Recoveries.Inc()

@@ -18,6 +18,7 @@ package driver
 import (
 	"fmt"
 
+	"bandslim/internal/cache"
 	"bandslim/internal/nvme"
 	"bandslim/internal/pool"
 	"bandslim/internal/sim"
@@ -153,6 +154,9 @@ type Tuning struct {
 	Thresholds *Thresholds
 	Retry      *RetryPolicy
 	Submission *SubmissionConfig
+	// Cache reconfigures the tiered read path: the device-DRAM value/page
+	// caches and the host-side negative cache. Both restart cold.
+	Cache *cache.Config
 }
 
 // Tune applies every present field of tn. The Set* mutators are thin
@@ -160,6 +164,11 @@ type Tuning struct {
 func (d *Driver) Tune(tn Tuning) error {
 	if tn.Submission != nil {
 		if err := tn.Submission.validate(d.dev.Queues().SQ.Size()); err != nil {
+			return err
+		}
+	}
+	if tn.Cache != nil {
+		if err := tn.Cache.Validate(); err != nil {
 			return err
 		}
 	}
@@ -178,6 +187,11 @@ func (d *Driver) Tune(tn Tuning) error {
 	}
 	if tn.Submission != nil {
 		if err := d.SetSubmission(*tn.Submission); err != nil {
+			return err
+		}
+	}
+	if tn.Cache != nil {
+		if err := d.SetCache(*tn.Cache); err != nil {
 			return err
 		}
 	}
@@ -378,7 +392,7 @@ func (d *Driver) WaitGetInto(h int, dst []byte) ([]byte, error) {
 		d.release(h)
 		return nil, err
 	}
-	comp, start, slot := f.comp, f.start, f.slot
+	comp, start, slot, cmd := f.comp, f.start, f.slot, f.cmd
 	d.release(h)
 	d.clock.AdvanceTo(comp.Ready.Add(d.link.Model.CommandRoundTrip))
 	now := d.clock.Now()
@@ -387,6 +401,10 @@ func (d *Driver) WaitGetInto(h int, dst []byte) ([]byte, error) {
 		d.tr.Emit(trace.Event{Cat: trace.CatDriver, Name: trace.EvReap, Op: byte(nvme.OpKVRead), Start: start, End: now, Arg: int64(comp.CommandID)})
 	}
 	if err := comp.Status.Err(); err != nil {
+		if comp.Status == nvme.StatusKeyNotFound {
+			d.keyScratch = cmd.AppendKey(d.keyScratch[:0])
+			d.negLearn(d.keyScratch)
+		}
 		return nil, err
 	}
 	n := int(comp.Result)

@@ -65,8 +65,14 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("nvme: command failed: %s", e.Status)
 }
 
-// StatusOf extracts the NVMe status from an error chain, if any.
+// StatusOf extracts the NVMe status from an error chain, if any. The
+// unwrapped case is a direct type assertion so steady-state miss
+// classification (the negative-cache hit path) allocates nothing;
+// errors.As, which boxes its target, only runs for wrapped chains.
 func StatusOf(err error) (Status, bool) {
+	if se, ok := err.(*StatusError); ok {
+		return se.Status, true
+	}
 	var se *StatusError
 	if errors.As(err, &se) {
 		return se.Status, true

@@ -155,7 +155,6 @@ type conn struct {
 	vals  [][]byte // value references (SET/MSET)
 	get   [][]byte // GetBatchSparse destination lanes (owned, reused)
 	miss  []bool
-	del   []byte // DEL existence-probe scratch
 	info  []byte // INFO reply scratch
 }
 
@@ -390,16 +389,23 @@ func (c *conn) executeOne(cm *cmd) (closeAfter bool) {
 			break
 		}
 		// Deletes are upserted tombstones below, so redis's "number of keys
-		// removed" needs an existence probe first.
+		// removed" needs an existence probe first. One sparse batch probes
+		// every key at once — it rides the shard fan-out, the windowed read
+		// path, and the driver's negative cache (a known-missing key costs no
+		// NVMe command at all), instead of a full serial read per key.
+		c.keys = c.keys[:0]
+		c.keys = append(c.keys, args[1:]...)
+		n := len(c.keys)
+		c.get = growLanes(c.get, n)
+		c.miss = growBools(c.miss, n)
+		if _, err := c.db.GetBatchSparse(c.keys, c.get, c.miss); err != nil {
+			c.writeDBErr(err)
+			return false
+		}
 		removed := 0
-		for _, key := range args[1:] {
-			var err error
-			if c.del, err = c.db.GetInto(key, c.del[:0]); err != nil {
-				if bandslim.IsNotFound(err) {
-					continue
-				}
-				c.writeDBErr(err)
-				return false
+		for i, key := range c.keys {
+			if c.miss[i] {
+				continue
 			}
 			if err := c.db.Delete(key); err != nil {
 				c.writeDBErr(err)

@@ -654,3 +654,58 @@ func TestServeBurstAllocsSteadyState(t *testing.T) {
 		run(t, db, newBurst(templates...), templates)
 	})
 }
+
+// TestDelCommandBudget pins the NVMe cost of the DEL existence probe: with
+// the negative cache armed, repeatedly deleting a missing key stops issuing
+// commands once the key is admitted to the recent-miss ring, and a mixed
+// multi-key DEL pays nothing for the known-missing keys.
+func TestDelCommandBudget(t *testing.T) {
+	cfg := bandslim.DefaultConfig()
+	cfg.Cache = bandslim.CacheConfig{NegativeEntries: 64}
+	db, err := bandslim.OpenSharded(bandslim.ShardedConfig{Shards: 1, PerShard: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr, _ := startServer(t, db, 4)
+	c := dial(t, addr)
+
+	expectInt := func(want int64, args ...string) {
+		t.Helper()
+		rep := c.do(args...)
+		if rep.Kind != resp.KindInteger || rep.Int != want {
+			t.Fatalf("%v: %+v, want :%d", args, rep, want)
+		}
+	}
+
+	// Admission: the first DEL's probe reads through and arms the bloom
+	// filter, the second admits the key to the recent-miss ring. Both cost
+	// one read command.
+	expectInt(0, "DEL", "ghost")
+	expectInt(0, "DEL", "ghost")
+	settled := db.Stats().Host.Commands
+
+	// From here the probe short-circuits host-side: zero NVMe commands.
+	for i := 0; i < 3; i++ {
+		expectInt(0, "DEL", "ghost")
+	}
+	if got := db.Stats().Host.Commands; got != settled {
+		t.Errorf("cached-miss DELs issued %d commands, want 0", got-settled)
+	}
+
+	// An existing key costs exactly probe + delete.
+	c.expectSimple("OK", "SET", "real", "v")
+	before := db.Stats().Host.Commands
+	expectInt(1, "DEL", "real")
+	if got := db.Stats().Host.Commands - before; got != 2 {
+		t.Errorf("DEL of an existing key issued %d commands, want 2 (probe + delete)", got)
+	}
+
+	// A mixed multi-key DEL pays the same two commands: the known-missing
+	// key resolves host-side inside the sparse probe batch.
+	c.expectSimple("OK", "SET", "real", "v2")
+	before = db.Stats().Host.Commands
+	expectInt(1, "DEL", "real", "ghost")
+	if got := db.Stats().Host.Commands - before; got != 2 {
+		t.Errorf("mixed DEL issued %d commands, want 2 (probe + delete)", got)
+	}
+}

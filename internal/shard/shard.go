@@ -82,6 +82,14 @@ func NewStack(o Options) (*Stack, error) {
 		return nil, err
 	}
 	drv.SetRetry(o.Retry)
+	// The device tiers were armed by device.New; this additionally builds
+	// the host-side negative cache. Guarded so a zero config leaves the
+	// stack bit-identical to a cache-free build.
+	if o.Device.Cache.Enabled() {
+		if err := drv.SetCache(o.Device.Cache); err != nil {
+			return nil, err
+		}
+	}
 	if o.Faults != nil {
 		if err := o.Faults.Validate(); err != nil {
 			return nil, err
@@ -362,6 +370,21 @@ func (s *Shard) runGetBatchWindowed(keys, vals [][]byte, miss []bool, lane []int
 		i := next
 		if lane != nil {
 			i = lane[next]
+		}
+		// A known-missing key resolves host-side: no command is built and no
+		// simulated time passes, exactly as Driver.Get short-circuits the
+		// serial path.
+		if drv.NegativeKnown(keys[i]) {
+			if miss == nil {
+				drv.DrainWindow()
+				return n, driver.ErrNegativeHit
+			}
+			miss[i] = true
+			vals[i] = vals[i][:0]
+			n++
+			next++
+			s.opDone()
+			continue
 		}
 		h, err := drv.StartGet(keys[i])
 		if err != nil {

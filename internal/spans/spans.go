@@ -53,13 +53,17 @@ const (
 	// StageReap is the completion-to-return tail: CQ post to the host
 	// observing the completion (round trip plus out-of-order wait).
 	StageReap
+	// StageDevCache is device-DRAM read-cache service: the hit lookup that
+	// replaced an LSM walk + NAND read (value tier) or an SSTable page
+	// fetch (page tier).
+	StageDevCache
 
 	NumStages
 )
 
 var stageNames = [NumStages]string{
 	"host", "window_wait", "fetch", "dev_exec",
-	"transfer", "nand", "coalesce", "reap",
+	"transfer", "nand", "coalesce", "reap", "dev_cache",
 }
 
 func (s Stage) String() string {
@@ -82,6 +86,9 @@ var stagePriority = [NumStages]int{
 	StageDevExec:    5,
 	StageTransfer:   6,
 	StageNAND:       7,
+	// The cache hit nests inside its exec span like NAND time does, and
+	// nothing finer ever overlaps it.
+	StageDevCache: 8,
 }
 
 // Op is one reconstructed operation with its stage breakdown. The invariant
@@ -255,6 +262,14 @@ func (r *Report) analyzeShard(events []trace.Event) {
 				st.nested = append(st.nested, interval{StageNAND, e.Start, e.End})
 			}
 		case trace.CatDevice:
+			// Cache hits nest inside the enclosing exec span exactly like
+			// DMA/NAND intervals; evict markers are instantaneous bookkeeping.
+			if e.Name == trace.EvCacheHit {
+				if e.End > e.Start {
+					st.nested = append(st.nested, interval{StageDevCache, e.Start, e.End})
+				}
+				continue
+			}
 			r.exec(st, e)
 		case trace.CatDriver:
 			r.driver(st, e)

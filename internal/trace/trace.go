@@ -109,6 +109,12 @@ const (
 	// command's in-flight life from submission to its completion being
 	// matched back by CID.
 	EvReap
+	// Device-DRAM read cache (CatDevice): EvCacheHit spans the DRAM access
+	// that replaced an LSM walk + NAND read (value tier, Op = opcode) or an
+	// SSTable page fetch (page tier, Op = 0); EvCacheEvict marks a fill
+	// evicting Arg entries.
+	EvCacheHit
+	EvCacheEvict
 
 	numNames
 )
@@ -175,6 +181,10 @@ func (n Name) String() string {
 		return "replay"
 	case EvReap:
 		return "reap"
+	case EvCacheHit:
+		return "cache_hit"
+	case EvCacheEvict:
+		return "cache_evict"
 	default:
 		return fmt.Sprintf("ev(%d)", uint8(n))
 	}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bandslim/internal/sim"
+)
+
+// Skewed key-choice generators for the read-path experiments: both pick a
+// rank in [0, n) per call, which the caller maps onto its loaded key set.
+// Rank 0 is the hottest key. Sequences are fully determined by (n, shape,
+// seed), so same-seed runs replay byte-identically.
+
+// Zipfian draws ranks with P(r) ∝ 1/(r+1)^s — the YCSB-style skew model
+// (s ≈ 0.99 is the standard "zipfian" operating point). The distribution is
+// materialized as a cumulative table once at construction; each draw is one
+// RNG call plus a binary search, with no per-draw allocation.
+type Zipfian struct {
+	rng *sim.RNG
+	cdf []float64
+}
+
+// NewZipfian builds a generator over n ranks with exponent s > 0.
+func NewZipfian(n int, s float64, seed uint64) (*Zipfian, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: Zipfian needs n >= 1 ranks, got %d", n)
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("workload: Zipfian exponent must be > 0 and finite, got %v", s)
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for r := 0; r < n; r++ {
+		sum += 1 / math.Pow(float64(r+1), s)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	cdf[n-1] = 1 // exact upper bound despite rounding
+	return &Zipfian{rng: sim.NewRNG(seed), cdf: cdf}, nil
+}
+
+// N reports the rank-space size.
+func (z *Zipfian) N() int { return len(z.cdf) }
+
+// Next draws one rank in [0, N()); rank 0 is the most probable.
+func (z *Zipfian) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Hotspot draws ranks from a two-tier model: a hot set of the first
+// ⌈hotFrac·n⌉ ranks receives hotProb of the draws, uniformly; the remaining
+// cold ranks share the rest, uniformly. The 80/20-style alternative to
+// Zipfian when a sharp hot/cold boundary is wanted.
+type Hotspot struct {
+	rng     *sim.RNG
+	n, hot  int
+	hotProb float64
+}
+
+// NewHotspot builds a generator over n ranks with the given hot fraction of
+// the rank space and hit probability (both strictly inside (0, 1)).
+func NewHotspot(n int, hotFrac, hotProb float64, seed uint64) (*Hotspot, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: Hotspot needs n >= 2 ranks, got %d", n)
+	}
+	if !(hotFrac > 0 && hotFrac < 1) || !(hotProb > 0 && hotProb < 1) {
+		return nil, fmt.Errorf("workload: Hotspot fractions must be in (0,1), got frac=%v prob=%v",
+			hotFrac, hotProb)
+	}
+	hot := int(math.Ceil(hotFrac * float64(n)))
+	if hot >= n {
+		hot = n - 1
+	}
+	return &Hotspot{rng: sim.NewRNG(seed), n: n, hot: hot, hotProb: hotProb}, nil
+}
+
+// N reports the rank-space size.
+func (h *Hotspot) N() int { return h.n }
+
+// HotRanks reports how many leading ranks form the hot set.
+func (h *Hotspot) HotRanks() int { return h.hot }
+
+// Next draws one rank in [0, N()).
+func (h *Hotspot) Next() int {
+	if h.rng.Float64() < h.hotProb {
+		return int(h.rng.Uint64() % uint64(h.hot))
+	}
+	return h.hot + int(h.rng.Uint64()%uint64(h.n-h.hot))
+}

@@ -153,6 +153,31 @@ func mcSubmission(seed uint64) bandslim.SubmissionConfig {
 	}
 }
 
+// mcCache derives the read-cache configuration for a sequence: seeds rotate
+// through {off, LRU value+page tiers, 2Q value tier}, decorrelated from the
+// mcSubmission rotation (seed/3 vs seed), so every (depth, cache) pair
+// appears. The on-configs also arm the negative cache — the model must not
+// be able to tell any of them apart from the cache-free stack.
+func mcCache(seed uint64) bandslim.CacheConfig {
+	switch (seed / 3) % 3 {
+	case 1:
+		return bandslim.CacheConfig{
+			ValueBytes:      64 << 10,
+			Pages:           8,
+			Policy:          bandslim.CacheLRU,
+			NegativeEntries: 32,
+		}
+	case 2:
+		return bandslim.CacheConfig{
+			ValueBytes:      16 << 10,
+			Policy:          bandslim.Cache2Q,
+			NegativeEntries: 16,
+		}
+	default:
+		return bandslim.CacheConfig{}
+	}
+}
+
 // mcPlan derives a fault plan from the sequence seed: transient transfer
 // errors (ride-out-able by the retry policy), media program failures (block
 // retirement), and one or two power cuts.
@@ -402,6 +427,7 @@ func TestModelCheckDB(t *testing.T) {
 		}
 		cfg := tinyFaultConfig(plan)
 		cfg.Submission = mcSubmission(seed)
+		cfg.Cache = mcCache(seed)
 		db, err := bandslim.Open(cfg)
 		if err != nil {
 			t.Fatalf("seed %d: open: %v", seed, err)
@@ -429,6 +455,7 @@ func TestModelCheckSharded(t *testing.T) {
 		}
 		per := tinyFaultConfig(plan)
 		per.Submission = mcSubmission(seed)
+		per.Cache = mcCache(seed)
 		cfg := bandslim.ShardedConfig{Shards: 2, PerShard: per}
 		db, err := bandslim.OpenSharded(cfg)
 		if err != nil {

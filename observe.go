@@ -183,10 +183,11 @@ func (db *DB) Series() MetricSeries {
 // output.
 func (db *DB) WritePrometheus(w io.Writer) error {
 	faults := db.cfg.Faults != nil
+	cached := cacheEnabled(db.cfg)
 	db.mu.Lock()
-	snap := snapshotStack(db.st, faults)
+	snap := snapshotStack(db.st, faults, cached)
 	db.mu.Unlock()
-	if err := timeseries.WritePrometheus(w, "bandslim", descsFor(faults), snap, histHelp); err != nil {
+	if err := timeseries.WritePrometheus(w, "bandslim", descsFor(faults, cached), snap, histHelp); err != nil {
 		return err
 	}
 	// Trace-ring health and stage-blame families follow as a separate

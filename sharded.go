@@ -110,10 +110,11 @@ func OpenSharded(cfg ShardedConfig) (*ShardedDB, error) {
 		// been submitted yet.
 		samplers = make([]*timeseries.Sampler, len(shards))
 		faults := cfg.PerShard.Faults != nil
+		cached := cacheEnabled(cfg.PerShard)
 		for i, sh := range shards {
 			st := sh.Stack()
-			smp := timeseries.NewSampler(interval, descsFor(faults),
-				func() timeseries.Snapshot { return snapshotStack(st, faults) })
+			smp := timeseries.NewSampler(interval, descsFor(faults, cached),
+				func() timeseries.Snapshot { return snapshotStack(st, faults, cached) })
 			sh.SetAfterOp(func() { smp.Poll(st.Clock.Now()) })
 			samplers[i] = smp
 		}
@@ -578,6 +579,14 @@ func mergeSnapshots(snaps []shardSnapshot) Stats {
 		out.Adaptive.Inline += p.Adaptive.Inline
 		out.Adaptive.PRP += p.Adaptive.PRP
 		out.Adaptive.Hybrid += p.Adaptive.Hybrid
+		out.Cache.Hits += p.Cache.Hits
+		out.Cache.Misses += p.Cache.Misses
+		out.Cache.PageHits += p.Cache.PageHits
+		out.Cache.PageMisses += p.Cache.PageMisses
+		out.Cache.Evictions += p.Cache.Evictions
+		out.Cache.Invalidations += p.Cache.Invalidations
+		out.Cache.NegHits += p.Cache.NegHits
+		out.Cache.NegLearned += p.Cache.NegLearned
 		out.Faults.NandProgramFaults += p.Faults.NandProgramFaults
 		out.Faults.NandReadFaults += p.Faults.NandReadFaults
 		out.Faults.NandEraseFaults += p.Faults.NandEraseFaults
@@ -651,9 +660,10 @@ func (s *ShardedDB) Series() MetricSeries {
 // are actively serving (the live /metrics scrape path) and after Close.
 func (s *ShardedDB) WritePrometheus(w io.Writer) error {
 	faults := s.cfg.PerShard.Faults != nil
+	cached := cacheEnabled(s.cfg.PerShard)
 	s.mu.RLock()
 	snaps := make([]timeseries.Snapshot, len(s.shards))
-	collect := func(i int, sh *shard.Shard) { snaps[i] = snapshotStack(sh.Stack(), faults) }
+	collect := func(i int, sh *shard.Shard) { snaps[i] = snapshotStack(sh.Stack(), faults, cached) }
 	if s.closed {
 		for i, sh := range s.shards {
 			collect(i, sh)
@@ -670,7 +680,7 @@ func (s *ShardedDB) WritePrometheus(w io.Writer) error {
 		wg.Wait()
 	}
 	s.mu.RUnlock()
-	descs := descsFor(faults)
+	descs := descsFor(faults, cached)
 	merged := timeseries.MergeSnapshots(descs, snaps)
 	if err := timeseries.WritePrometheus(w, "bandslim", descs, merged, histHelp); err != nil {
 		return err

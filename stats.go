@@ -93,6 +93,20 @@ type FaultStats struct {
 	Recoveries        int64 // host-initiated Recover calls
 }
 
+// CacheStats count the tiered read path's activity: device-DRAM value and
+// SSTable-page tiers, the strict invalidation protocol, and the host-side
+// negative cache. All-zero unless Config.Cache arms a tier.
+type CacheStats struct {
+	Hits          int64 // value-tier hits (reads served from device DRAM)
+	Misses        int64 // value-tier misses (reads that walked the LSM)
+	PageHits      int64 // SSTable-page-tier hits
+	PageMisses    int64 // SSTable-page-tier misses
+	Evictions     int64 // entries evicted across both device tiers
+	Invalidations int64 // entries dropped by the strict invalidation protocol
+	NegHits       int64 // Gets short-circuited host-side by the negative cache
+	NegLearned    int64 // keys admitted to the recent-miss ring
+}
+
 // ServerStats count the network front-end's activity: connections, commands
 // by opcode, backpressure stalls, and wire bytes. All-zero unless a serving
 // process (internal/server) is attached; the simulation core never writes
@@ -127,6 +141,7 @@ type Stats struct {
 	PCIe     PCIeStats
 	Device   DeviceStats
 	Adaptive AdaptiveStats
+	Cache    CacheStats
 	Faults   FaultStats
 	Server   ServerStats
 	Trace    TraceStats
@@ -189,6 +204,16 @@ func stackStats(st *shard.Stack) Stats {
 			Inline: ds.InlineChosen.Value(),
 			PRP:    ds.PRPChosen.Value(),
 			Hybrid: ds.HybridChosen.Value(),
+		},
+		Cache: CacheStats{
+			Hits:          st.Dev.Stats().CacheHits.Value(),
+			Misses:        st.Dev.Stats().CacheMisses.Value(),
+			PageHits:      st.Dev.Stats().PageCacheHits.Value(),
+			PageMisses:    st.Dev.Stats().PageCacheMisses.Value(),
+			Evictions:     st.Dev.Stats().CacheEvictions.Value(),
+			Invalidations: st.Dev.Stats().CacheInvalidations.Value(),
+			NegHits:       ds.NegativeHits.Value(),
+			NegLearned:    ds.NegativeLearned.Value(),
 		},
 		Faults: FaultStats{
 			NandProgramFaults: fs.ProgramFaults.Value(),
@@ -273,6 +298,20 @@ var faultDescs = []timeseries.Desc{
 	counter("host_retries", "Host re-submissions of retryable completions."),
 	counter("host_retries_exhausted", "Commands that failed every retry."),
 	counter("host_recoveries", "Host-initiated recoveries."),
+}
+
+// cacheDescs extend seriesDescs when Config.Cache arms a read-cache tier.
+// Like faultDescs they are appended only then, so cache-free runs keep
+// byte-identical exporter output (the golden-smoke guarantee).
+var cacheDescs = []timeseries.Desc{
+	counter("cache_value_hits", "Device value-tier cache hits (reads served from device DRAM)."),
+	counter("cache_value_misses", "Device value-tier cache misses (reads that walked the LSM)."),
+	counter("cache_page_hits", "Device SSTable-page-tier cache hits."),
+	counter("cache_page_misses", "Device SSTable-page-tier cache misses."),
+	counter("cache_evictions", "Entries evicted across both device cache tiers."),
+	counter("cache_invalidations", "Cache entries dropped by the strict invalidation protocol."),
+	counter("cache_negative_hits", "GETs short-circuited host-side by the negative cache."),
+	counter("cache_negative_learned", "Keys admitted to the negative cache's recent-miss ring."),
 }
 
 // serverDescs declare the network front-end's scalar metrics. Like
@@ -377,14 +416,21 @@ func blameSnapshot(buffered, dropped int64, rep *spans.Report) timeseries.Snapsh
 }
 
 // descsFor returns the sampler/exporter column set: the base descriptors,
-// plus the fault columns when the injector is armed.
-func descsFor(faults bool) []timeseries.Desc {
-	if !faults {
+// plus the fault columns when the injector is armed and the cache columns
+// when a read-cache tier is configured.
+func descsFor(faults, cached bool) []timeseries.Desc {
+	if !faults && !cached {
 		return seriesDescs
 	}
-	out := make([]timeseries.Desc, 0, len(seriesDescs)+len(faultDescs))
+	out := make([]timeseries.Desc, 0, len(seriesDescs)+len(faultDescs)+len(cacheDescs))
 	out = append(out, seriesDescs...)
-	return append(out, faultDescs...)
+	if faults {
+		out = append(out, faultDescs...)
+	}
+	if cached {
+		out = append(out, cacheDescs...)
+	}
+	return out
 }
 
 // histHelp supplies Prometheus HELP text per histogram family.
@@ -399,7 +445,7 @@ var histHelp = map[string]string{
 // snapshot: the flattened Stats tree, the Inspect-style gauges, and clones
 // of every latency histogram. Values are built in seriesDescs order. The
 // caller must hold whatever serializes access to the stack.
-func snapshotStack(st *shard.Stack, faults bool) timeseries.Snapshot {
+func snapshotStack(st *shard.Stack, faults, cached bool) timeseries.Snapshot {
 	s := stackStats(st)
 	buf := st.Dev.Buffer()
 	now := st.Clock.Now()
@@ -451,6 +497,18 @@ func snapshotStack(st *shard.Stack, faults bool) timeseries.Snapshot {
 			float64(s.Faults.Retries),
 			float64(s.Faults.RetriesExhausted),
 			float64(s.Faults.Recoveries),
+		)
+	}
+	if cached {
+		values = append(values,
+			float64(s.Cache.Hits),
+			float64(s.Cache.Misses),
+			float64(s.Cache.PageHits),
+			float64(s.Cache.PageMisses),
+			float64(s.Cache.Evictions),
+			float64(s.Cache.Invalidations),
+			float64(s.Cache.NegHits),
+			float64(s.Cache.NegLearned),
 		)
 	}
 	ds := st.Drv.Stats()
