@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-shards bench-server bench-smoke smoke golden server-smoke modelcheck fuzz-smoke qd qd-smoke blame blame-smoke cache cache-smoke ci
+.PHONY: all build test race vet fmt bench bench-shards bench-server bench-smoke smoke golden server-smoke modelcheck fuzz-smoke qd qd-smoke blame blame-smoke cache cache-smoke ycsb ycsb-smoke ci
 
 all: build
 
@@ -66,8 +66,11 @@ server-smoke:
 # Model-based differential harness + crash-consistency sweep: 1000+ seeded
 # op sequences against an in-memory reference model, with and without fault
 # plans, plus a power cut at every command boundary of a fixed workload.
+# TestModelCheckScenarios* pump every YCSB scenario (and the mixed stream)
+# through the same model; TestChaosUnderLoad cuts power inside live scenario
+# runs and re-proves determinism.
 modelcheck:
-	$(GO) test -run 'TestModelCheck|TestCrashSweep|TestFaultRaceSharded' -count=1 -timeout 600s .
+	$(GO) test -run 'TestModelCheck|TestCrashSweep|TestFaultRaceSharded|TestChaosUnderLoad' -count=1 -timeout 600s .
 
 # Regenerate the queue-depth sweep artifact: submission window depth 1→32
 # on the 4-shard baseline stack (results/BENCH_qd.json). Every value is
@@ -119,12 +122,37 @@ cache-smoke:
 	diff -u .cache1/BENCH_cache.json .cache2/BENCH_cache.json
 	rm -rf .cache1 .cache2
 
+# Regenerate the YCSB scenario-suite artifact: core workloads A-F with
+# time-varying arrivals (diurnal, bursty, jittered) and a mid-run hotspot
+# shift (results/BENCH_ycsb.json). Every value is simulated, so the artifact
+# is deterministic for a given -scale/-seed.
+ycsb:
+	$(GO) run ./cmd/bandslim-bench -experiment ycsb -scale 20000 -seed 42 -json results
+
+# YCSB + trace-replay determinism gate: (1) the scenario suite run twice must
+# produce byte-identical JSON; (2) a recorded trace replayed against a fresh
+# stack must produce a byte-identical Prometheus exposition to the live run —
+# the replay-fidelity acceptance check; (3) recording twice must produce
+# byte-identical trace files.
+ycsb-smoke:
+	$(GO) run ./cmd/bandslim-bench -experiment ycsb -scale 1000 -seed 42 -json .ycsb1
+	$(GO) run ./cmd/bandslim-bench -experiment ycsb -scale 1000 -seed 42 -json .ycsb2
+	diff -u .ycsb1/BENCH_ycsb.json .ycsb2/BENCH_ycsb.json
+	$(GO) run ./cmd/bandslim-cli trace record -scenario mixed -records 300 -ops 1000 -seed 42 -o .ycsb1/run.trace -metrics-out .ycsb1/live.prom > /dev/null
+	$(GO) run ./cmd/bandslim-cli trace record -scenario mixed -records 300 -ops 1000 -seed 42 -o .ycsb2/run.trace > /dev/null
+	diff -u .ycsb1/run.trace .ycsb2/run.trace
+	$(GO) run ./cmd/bandslim-cli trace replay -metrics-out .ycsb2/replay.prom .ycsb1/run.trace > /dev/null
+	diff -u .ycsb1/live.prom .ycsb2/replay.prom
+	$(GO) run ./cmd/bandslim-cli trace stat .ycsb1/run.trace > /dev/null
+	rm -rf .ycsb1 .ycsb2
+
 # Short fixed-budget fuzz pass over the fault-plan parser, the journal
-# decoder/replayer, and the RESP command parser, seeded from the committed
-# testdata corpora.
+# decoder/replayer, the RESP command parser, and the workload-trace parser,
+# seeded from the committed testdata corpora.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParsePlan -fuzztime=5s ./internal/fault
 	$(GO) test -run=NONE -fuzz=FuzzJournalReplay -fuzztime=5s ./internal/device
 	$(GO) test -run=NONE -fuzz=FuzzRESPParse -fuzztime=5s ./internal/resp
+	$(GO) test -run=NONE -fuzz=FuzzTraceParse -fuzztime=5s ./internal/workload
 
-ci: build vet test race smoke bench-smoke server-smoke modelcheck qd-smoke blame-smoke cache-smoke fuzz-smoke
+ci: build vet test race smoke bench-smoke server-smoke modelcheck qd-smoke blame-smoke cache-smoke ycsb-smoke fuzz-smoke

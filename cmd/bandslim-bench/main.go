@@ -9,6 +9,7 @@
 //	bandslim-bench -experiment server [-scale 20000] [-shards 4] [-json out/]
 //	bandslim-bench -experiment blame [-scale 20000] [-json out/]
 //	bandslim-bench -experiment cache [-scale 20000] [-json out/]
+//	bandslim-bench -experiment ycsb [-scale 20000] [-json out/]
 //	bandslim-bench -experiment all
 //	bandslim-bench -trace out.json [-shards 4]
 //	bandslim-bench -trace-jsonl out.jsonl [-shards 4]
@@ -43,6 +44,14 @@
 // Zipfian skew) against the cache-off read path, writing BENCH_cache.json.
 // It fails hard if the hot-read p99 at the default operating point does not
 // improve at least 3x over cache-off.
+//
+// The ycsb experiment runs the six YCSB core scenarios (A: update-heavy
+// under a diurnal load curve with a mid-run hotspot shift, B: read-mostly
+// under bursts, C: read-only, D: read-latest with insert-ordered keyspace
+// growth, E: scan-heavy, F: read-modify-write), writing BENCH_ycsb.json. It
+// fails hard if any scenario's realized op mix drifts from its spec. Use
+// `bandslim-cli trace record|replay|stat` to capture any scenario to a
+// deterministic trace file and replay it bit-identically.
 //
 // -metrics-out, -series-out, and -listen likewise skip the experiments and
 // run one instrumented workload with the simulated-time metrics sampler on:
@@ -389,6 +398,37 @@ func main() {
 		}
 		fmt.Println("wrote", path)
 		fmt.Printf("qd experiment completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	if *experiment == "ycsb" {
+		start := time.Now()
+		t, points, err := bench.RunYCSB(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Format())
+		raw, err := bench.YCSBJSON(points)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		dir := *jsonDir
+		if dir == "" {
+			dir = "."
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(dir, "BENCH_ycsb.json")
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bandslim-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+		fmt.Printf("ycsb experiment completed in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

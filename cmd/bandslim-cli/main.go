@@ -8,6 +8,7 @@
 //	             [-metrics-interval-us 100] [-metrics-out out.prom] [-series-out out.csv]
 //	bandslim-cli faults [-salt N] [-max-occ N] <plan-file|->   dump a resolved fault schedule
 //	bandslim-cli analyze [-csv out.csv] [-top K] <trace.jsonl|->   per-op latency attribution
+//	bandslim-cli trace record|replay|stat ...   record/replay deterministic workload traces
 //
 // Commands:
 //
@@ -47,6 +48,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "analyze" {
 		runAnalyze(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
 		return
 	}
 	var (

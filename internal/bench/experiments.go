@@ -341,7 +341,7 @@ func Experiments() []string {
 		"fig3", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"ablation-sgl", "ablation-batch", "ablation-dlt", "ablation-buffer",
 		"ablation-alpha", "ablation-nand", "ablation-pipeline", "breakdown", "read", "scan",
-		"shards", "server", "qd", "blame", "cache", "all", "ablations",
+		"shards", "server", "qd", "blame", "cache", "ycsb", "all", "ablations",
 	}
 }
 

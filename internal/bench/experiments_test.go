@@ -55,7 +55,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 	ids := Experiments()
-	if len(ids) != 24 {
+	if len(ids) != 25 {
 		t.Fatalf("Experiments() = %v", ids)
 	}
 }

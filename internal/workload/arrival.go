@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"bandslim/internal/sim"
+)
+
+// Arrival produces the simulated arrival instants of successive operations.
+// Arrivals are open-loop: the process stamps each op with the moment it
+// would have been issued by an external client, independent of how fast the
+// device under test drains them. Scenario behavior that keys off time — the
+// hotspot shifts below — triggers on these stamps, so a recorded trace
+// replays the exact same behavior no matter what stack it is driven against.
+//
+// Implementations are deterministic: the stream of instants is a pure
+// function of the configuration and seed.
+type Arrival interface {
+	// Next returns the arrival instant of the next operation. Instants are
+	// non-decreasing.
+	Next() sim.Time
+}
+
+// asap is the zero arrival process: every op arrives at t=0 (no pacing, no
+// time-keyed behavior).
+type asap struct{}
+
+func (asap) Next() sim.Time { return 0 }
+
+// ArrivalConfig shapes an open-loop arrival process. The zero value means
+// "as fast as possible": every op is stamped t=0.
+type ArrivalConfig struct {
+	// Rate is the base arrival rate in operations per simulated second.
+	// 0 disables pacing (all stamps are 0); otherwise it must be positive.
+	Rate float64
+
+	// DiurnalAmp and DiurnalPeriod superimpose a load curve on the base
+	// rate: rate(t) = Rate · (1 + DiurnalAmp·sin(2πt/DiurnalPeriod)).
+	// Amp must be in [0, 1) so the instantaneous rate stays positive;
+	// Period must be positive when Amp > 0.
+	DiurnalAmp    float64
+	DiurnalPeriod sim.Duration
+
+	// BurstFactor, BurstEvery, and BurstLen overlay periodic bursts: within
+	// each BurstEvery window, the first BurstLen of it runs at rate ×
+	// BurstFactor. Factor must be ≥ 1 and both durations positive (with
+	// BurstLen ≤ BurstEvery) when bursts are enabled (Factor > 0).
+	BurstFactor float64
+	BurstEvery  sim.Duration
+	BurstLen    sim.Duration
+
+	// Jitter, when true, draws exponential interarrival gaps (a Poisson
+	// process at the modulated rate) from the seeded RNG instead of fixed
+	// 1/rate(t) spacing.
+	Jitter bool
+}
+
+// Validate checks the configuration's invariants.
+func (c ArrivalConfig) Validate() error {
+	if c.Rate == 0 {
+		if c.DiurnalAmp != 0 || c.BurstFactor != 0 || c.Jitter {
+			return fmt.Errorf("workload: arrival modulation needs Rate > 0")
+		}
+		return nil
+	}
+	if c.Rate < 0 || math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) {
+		return fmt.Errorf("workload: arrival rate must be positive and finite, got %v", c.Rate)
+	}
+	if c.DiurnalAmp < 0 || c.DiurnalAmp >= 1 || math.IsNaN(c.DiurnalAmp) {
+		return fmt.Errorf("workload: diurnal amplitude must be in [0, 1), got %v", c.DiurnalAmp)
+	}
+	if c.DiurnalAmp > 0 && c.DiurnalPeriod <= 0 {
+		return fmt.Errorf("workload: diurnal amplitude needs a positive period")
+	}
+	if c.BurstFactor != 0 {
+		if c.BurstFactor < 1 || math.IsNaN(c.BurstFactor) || math.IsInf(c.BurstFactor, 0) {
+			return fmt.Errorf("workload: burst factor must be >= 1, got %v", c.BurstFactor)
+		}
+		if c.BurstEvery <= 0 || c.BurstLen <= 0 || c.BurstLen > c.BurstEvery {
+			return fmt.Errorf("workload: bursts need 0 < BurstLen <= BurstEvery")
+		}
+	}
+	return nil
+}
+
+// NewArrival builds the arrival process described by cfg. The zero config
+// returns the unpaced process (all stamps 0).
+func NewArrival(cfg ArrivalConfig, seed uint64) (Arrival, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rate == 0 {
+		return asap{}, nil
+	}
+	return &openLoop{cfg: cfg, rng: sim.NewRNG(seed)}, nil
+}
+
+// openLoop advances a private timeline: each op arrives one (possibly
+// jittered) interarrival gap after the previous one, with the gap computed
+// from the rate in effect at the previous instant.
+type openLoop struct {
+	cfg ArrivalConfig
+	rng *sim.RNG
+	now sim.Time
+}
+
+// rateAt evaluates the modulated rate at instant t.
+func (a *openLoop) rateAt(t sim.Time) float64 {
+	r := a.cfg.Rate
+	if a.cfg.DiurnalAmp > 0 {
+		phase := 2 * math.Pi * float64(t) / float64(a.cfg.DiurnalPeriod)
+		r *= 1 + a.cfg.DiurnalAmp*math.Sin(phase)
+	}
+	if a.cfg.BurstFactor > 0 {
+		if sim.Duration(t)%a.cfg.BurstEvery < a.cfg.BurstLen {
+			r *= a.cfg.BurstFactor
+		}
+	}
+	return r
+}
+
+// Next implements Arrival.
+func (a *openLoop) Next() sim.Time {
+	gap := 1 / a.rateAt(a.now) // seconds
+	if a.cfg.Jitter {
+		// Exponential interarrival: -ln(1-u)/rate, u in [0, 1).
+		gap *= -math.Log(1 - a.rng.Float64())
+	}
+	ns := gap * float64(sim.Second)
+	if ns >= float64(int64(1)<<62) {
+		ns = float64(int64(1) << 62)
+	}
+	a.now = a.now.Add(sim.Duration(ns))
+	return a.now
+}
+
+// HotShift re-seats the hot head of a skewed key-choice distribution at a
+// simulated instant: from At onward, every drawn key index is rotated by
+// Rotate positions through the initial keyspace. Offsets are absolute, not
+// cumulative — the shift in effect at time t is the last one with At ≤ t.
+type HotShift struct {
+	At     sim.Time
+	Rotate int
+}
+
+// HotShifts is a schedule of hotspot shifts ordered by At.
+type HotShifts []HotShift
+
+// Validate checks ordering and bounds.
+func (hs HotShifts) Validate() error {
+	for i, s := range hs {
+		if s.Rotate < 0 {
+			return fmt.Errorf("workload: shift %d: negative rotation %d", i, s.Rotate)
+		}
+		if i > 0 && hs[i-1].At >= s.At {
+			return fmt.Errorf("workload: shift %d: At %v not after previous %v", i, s.At, hs[i-1].At)
+		}
+	}
+	return nil
+}
+
+// Offset reports the rotation in effect at instant at: the Rotate of the
+// last shift whose At ≤ at, or 0 before the first shift. An op arriving
+// exactly at a shift's At already sees the new mapping.
+func (hs HotShifts) Offset(at sim.Time) int {
+	off := 0
+	for _, s := range hs {
+		if s.At > at {
+			break
+		}
+		off = s.Rotate
+	}
+	return off
+}

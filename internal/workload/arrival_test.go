@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"testing"
+
+	"bandslim/internal/sim"
+)
+
+func TestArrivalConfigValidate(t *testing.T) {
+	ms := sim.Millisecond
+	cases := []struct {
+		name string
+		cfg  ArrivalConfig
+		ok   bool
+	}{
+		{"zero", ArrivalConfig{}, true},
+		{"plain rate", ArrivalConfig{Rate: 1000}, true},
+		{"negative rate", ArrivalConfig{Rate: -1}, false},
+		{"modulation without rate", ArrivalConfig{DiurnalAmp: 0.5, DiurnalPeriod: ms}, false},
+		{"jitter without rate", ArrivalConfig{Jitter: true}, false},
+		{"diurnal", ArrivalConfig{Rate: 1000, DiurnalAmp: 0.5, DiurnalPeriod: ms}, true},
+		{"amp too large", ArrivalConfig{Rate: 1000, DiurnalAmp: 1, DiurnalPeriod: ms}, false},
+		{"amp negative", ArrivalConfig{Rate: 1000, DiurnalAmp: -0.1, DiurnalPeriod: ms}, false},
+		{"amp without period", ArrivalConfig{Rate: 1000, DiurnalAmp: 0.5}, false},
+		{"bursts", ArrivalConfig{Rate: 1000, BurstFactor: 4, BurstEvery: ms, BurstLen: ms / 8}, true},
+		{"burst factor < 1", ArrivalConfig{Rate: 1000, BurstFactor: 0.5, BurstEvery: ms, BurstLen: ms / 8}, false},
+		{"burst len > every", ArrivalConfig{Rate: 1000, BurstFactor: 2, BurstEvery: ms, BurstLen: 2 * ms}, false},
+		{"burst missing windows", ArrivalConfig{Rate: 1000, BurstFactor: 2}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// arrivalStamps draws n instants from a fresh process.
+func arrivalStamps(t *testing.T, cfg ArrivalConfig, seed uint64, n int) []sim.Time {
+	t.Helper()
+	a, err := NewArrival(cfg, seed)
+	if err != nil {
+		t.Fatalf("NewArrival: %v", err)
+	}
+	out := make([]sim.Time, n)
+	for i := range out {
+		out[i] = a.Next()
+	}
+	return out
+}
+
+func TestArrivalMonotoneAndDeterministic(t *testing.T) {
+	ms := sim.Millisecond
+	cfgs := map[string]ArrivalConfig{
+		"unpaced": {},
+		"steady":  {Rate: 50000},
+		"diurnal": {Rate: 50000, DiurnalAmp: 0.8, DiurnalPeriod: 4 * ms},
+		"bursty":  {Rate: 50000, BurstFactor: 8, BurstEvery: ms, BurstLen: ms / 8},
+		"jittered": {Rate: 50000, Jitter: true,
+			DiurnalAmp: 0.5, DiurnalPeriod: 4 * ms},
+	}
+	for name, cfg := range cfgs {
+		a := arrivalStamps(t, cfg, 9, 2000)
+		b := arrivalStamps(t, cfg, 9, 2000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: stamp %d differs across identically seeded runs: %v vs %v",
+					name, i, a[i], b[i])
+			}
+			if i > 0 && a[i] < a[i-1] {
+				t.Fatalf("%s: stamp %d = %v before predecessor %v", name, i, a[i], a[i-1])
+			}
+		}
+	}
+}
+
+func TestArrivalSteadySpacing(t *testing.T) {
+	// 50k ops/s = one op per 20µs, exactly.
+	stamps := arrivalStamps(t, ArrivalConfig{Rate: 50000}, 1, 100)
+	for i, at := range stamps {
+		want := sim.Time(0).Add(sim.Duration(i+1) * 20 * sim.Microsecond)
+		if at != want {
+			t.Fatalf("stamp %d = %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestArrivalBurstDensity(t *testing.T) {
+	// With ×8 bursts over the first 1/8 of each window, the burst window
+	// should hold far more arrivals per unit time than the tail.
+	ms := sim.Millisecond
+	cfg := ArrivalConfig{Rate: 50000, BurstFactor: 8, BurstEvery: ms, BurstLen: ms / 8}
+	stamps := arrivalStamps(t, cfg, 1, 4000)
+	inBurst, outBurst := 0, 0
+	for _, at := range stamps {
+		if sim.Duration(at)%cfg.BurstEvery < cfg.BurstLen {
+			inBurst++
+		} else {
+			outBurst++
+		}
+	}
+	// The burst region is 1/8 of the time at 8× rate: it should carry about
+	// half the ops, and certainly far more than its 1/8 time share.
+	if inBurst < outBurst/2 {
+		t.Fatalf("burst windows carried %d of %d arrivals; want a dense burst head",
+			inBurst, inBurst+outBurst)
+	}
+}
+
+func TestArrivalJitterVaries(t *testing.T) {
+	stamps := arrivalStamps(t, ArrivalConfig{Rate: 50000, Jitter: true}, 3, 200)
+	gaps := map[sim.Duration]bool{}
+	for i := 1; i < len(stamps); i++ {
+		gaps[stamps[i].Sub(stamps[i-1])] = true
+	}
+	if len(gaps) < 10 {
+		t.Fatalf("jittered process produced only %d distinct gaps", len(gaps))
+	}
+}
+
+func TestHotShiftsValidate(t *testing.T) {
+	us := sim.Microsecond
+	cases := []struct {
+		name string
+		hs   HotShifts
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{"single", HotShifts{{At: sim.Time(us), Rotate: 5}}, true},
+		{"ascending", HotShifts{{At: sim.Time(us), Rotate: 5}, {At: sim.Time(2 * us), Rotate: 0}}, true},
+		{"negative rotate", HotShifts{{At: sim.Time(us), Rotate: -1}}, false},
+		{"duplicate at", HotShifts{{At: sim.Time(us), Rotate: 1}, {At: sim.Time(us), Rotate: 2}}, false},
+		{"descending", HotShifts{{At: sim.Time(2 * us), Rotate: 1}, {At: sim.Time(us), Rotate: 2}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.hs.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestHotShiftsOffsetBoundaries(t *testing.T) {
+	us := sim.Microsecond
+	hs := HotShifts{
+		{At: sim.Time(10 * us), Rotate: 7},
+		{At: sim.Time(20 * us), Rotate: 3},
+	}
+	cases := []struct {
+		at   sim.Time
+		want int
+	}{
+		{0, 0},
+		{sim.Time(10*us) - 1, 0},      // one instant before the shift: old mapping
+		{sim.Time(10 * us), 7},        // exactly at the shift: new mapping already
+		{sim.Time(10*us) + 1, 7},      //
+		{sim.Time(20 * us), 3},        // offsets are absolute, not cumulative
+		{sim.Time(1_000_000 * us), 3}, // last shift holds forever
+	}
+	for _, tc := range cases {
+		if got := hs.Offset(tc.at); got != tc.want {
+			t.Errorf("Offset(%v) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+}

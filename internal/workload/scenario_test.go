@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"bandslim/internal/sim"
+)
+
+// drainScenario collects a scenario's full op stream.
+func drainScenario(t *testing.T, s Scenario) []ScenarioOp {
+	t.Helper()
+	var ops []ScenarioOp
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		ops = append(ops, op)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("%s: Remaining() = %d after exhaustion", s.Name(), s.Remaining())
+	}
+	return ops
+}
+
+// keyNum decodes the numeric part of a scenario key ("y%08d").
+func keyNum(t *testing.T, key []byte) int {
+	t.Helper()
+	n, err := strconv.Atoi(string(key[1:]))
+	if err != nil {
+		t.Fatalf("malformed scenario key %q", key)
+	}
+	return n
+}
+
+func TestNewScenarioValidation(t *testing.T) {
+	good := ScenarioConfig{Records: 10, Ops: 10, Seed: 1}
+	if _, err := NewScenario("nope", good); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+	bad := []ScenarioConfig{
+		{Records: 0, Ops: 10},
+		{Records: 10, Ops: -1},
+		{Records: 10, Ops: 10, ValueMin: 8, ValueMax: 4},
+		{Records: 10, Ops: 10, Arrival: ArrivalConfig{Rate: -5}},
+		{Records: 10, Ops: 10, Shifts: HotShifts{{Rotate: -1}}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewScenario("a", cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	for _, name := range append(ScenarioNames(), "a", "f") {
+		if _, err := NewScenario(name, good); err != nil {
+			t.Errorf("NewScenario(%q): %v", name, err)
+		}
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	cfg := ScenarioConfig{
+		Records: 200, Ops: 1000, Seed: 42,
+		Arrival: ArrivalConfig{Rate: 50000, Jitter: true},
+	}
+	for _, name := range ScenarioNames() {
+		a, err := NewScenario(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, _ := NewScenario(name, cfg)
+		opsA, opsB := drainScenario(t, a), drainScenario(t, b)
+		if !reflect.DeepEqual(opsA, opsB) {
+			t.Fatalf("%s: identically seeded runs diverge", name)
+		}
+		other := cfg
+		other.Seed = 43
+		c, _ := NewScenario(name, other)
+		if reflect.DeepEqual(opsA, drainScenario(t, c)) {
+			t.Fatalf("%s: different seeds produced the identical stream", name)
+		}
+	}
+}
+
+func TestScenarioLoadPhaseAndShape(t *testing.T) {
+	cfg := ScenarioConfig{Records: 100, Ops: 2000, Seed: 7}
+	for _, name := range ScenarioNames() {
+		s, err := NewScenario(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if want := cfg.Records + cfg.Ops; s.Remaining() != want {
+			t.Fatalf("%s: Remaining() = %d, want %d", name, s.Remaining(), want)
+		}
+		ops := drainScenario(t, s)
+		if len(ops) != cfg.Records+cfg.Ops {
+			t.Fatalf("%s: got %d ops, want %d", name, len(ops), cfg.Records+cfg.Ops)
+		}
+		inserts := 0
+		for i, op := range ops {
+			if i < cfg.Records {
+				if op.Kind != OpPut || keyNum(t, op.Key) != i || op.At != 0 {
+					t.Fatalf("%s: load op %d = %+v, want sequential unpaced put", name, i, op)
+				}
+				continue
+			}
+			n := keyNum(t, op.Key)
+			if op.Kind == OpPut && n >= cfg.Records {
+				// Fresh insert: must extend the keyspace contiguously.
+				if n != cfg.Records+inserts {
+					t.Fatalf("%s: insert key %d out of order (want %d)", name, n, cfg.Records+inserts)
+				}
+				inserts++
+			} else if n < 0 || n >= cfg.Records+inserts {
+				t.Fatalf("%s: op %d targets key %d outside keyspace of %d",
+					name, i, n, cfg.Records+inserts)
+			}
+			switch op.Kind {
+			case OpPut, OpRMW:
+				if op.N < 64 || op.N > 1024 {
+					t.Fatalf("%s: value size %d outside default 64..1024", name, op.N)
+				}
+			case OpScan:
+				if op.N < 1 || op.N > 64 {
+					t.Fatalf("%s: scan length %d outside default 1..64", name, op.N)
+				}
+			default:
+				if op.N != 0 {
+					t.Fatalf("%s: %v op carries N=%d", name, op.Kind, op.N)
+				}
+			}
+		}
+	}
+}
+
+func TestScenarioMixFractions(t *testing.T) {
+	const tol = 0.03
+	cfg := ScenarioConfig{Records: 500, Ops: 20000, Seed: 11}
+	for name, classes := range mixes {
+		s, err := NewScenario(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ops := drainScenario(t, s)[cfg.Records:]
+		got := map[OpKind]float64{}
+		for _, op := range ops {
+			got[op.Kind] += 1 / float64(len(ops))
+		}
+		want := map[OpKind]float64{}
+		for _, c := range classes {
+			want[c.kind] += c.share
+		}
+		for kind, w := range want {
+			if g := got[kind]; math.Abs(g-w) > tol {
+				t.Errorf("%s: realized %v fraction %.3f, want %.2f±%.2f", name, kind, g, w, tol)
+			}
+		}
+		for kind, g := range got {
+			if want[kind] == 0 {
+				t.Errorf("%s: unexpected %v ops (fraction %.3f)", name, kind, g)
+			}
+		}
+	}
+}
+
+// TestScenarioZipfianChiSquared checks the realized key histogram of the
+// read-only workload against the exact zipfian-through-scramble expectation
+// with a chi-squared statistic. The run is seeded and deterministic, so the
+// bound is a regression tripwire, not a flaky statistical test.
+func TestScenarioZipfianChiSquared(t *testing.T) {
+	const (
+		records = 100
+		ops     = 50000
+		theta   = 0.99
+	)
+	s, err := NewScenario("c", ScenarioConfig{Records: records, Ops: ops, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, records)
+	for _, op := range drainScenario(t, s)[records:] {
+		counts[keyNum(t, op.Key)]++
+	}
+	// Expected counts: zipfian pmf over ranks, pushed through the scramble
+	// map (collisions merge probabilities, exactly as the generator does).
+	h := 0.0
+	for r := 1; r <= records; r++ {
+		h += 1 / math.Pow(float64(r), theta)
+	}
+	expect := make([]float64, records)
+	for r := 0; r < records; r++ {
+		p := 1 / math.Pow(float64(r+1), theta) / h
+		expect[scramble(uint64(r))%records] += p * ops
+	}
+	chi2, df := 0.0, 0
+	for k := 0; k < records; k++ {
+		if expect[k] < 5 {
+			continue // standard chi-squared validity guard for sparse cells
+		}
+		d := float64(counts[k]) - expect[k]
+		chi2 += d * d / expect[k]
+		df++
+	}
+	if df < records/2 {
+		t.Fatalf("only %d usable cells; scramble collapsed the keyspace?", df)
+	}
+	// 99.9th percentile of chi-squared with df≈100 is ~149; allow headroom.
+	if limit := 2 * float64(df); chi2 > limit {
+		t.Fatalf("chi-squared %.1f over %d cells exceeds %.1f: key histogram "+
+			"does not match the zipfian spec", chi2, df, limit)
+	}
+	if counts[int(scramble(0)%records)] < ops/10 {
+		t.Fatalf("hottest rank drew only %d of %d accesses", counts[scramble(0)%records], ops)
+	}
+}
+
+// TestScenarioLatestRecency checks the read-latest workload: reads
+// concentrate on the most recently inserted keys even as the keyspace grows.
+func TestScenarioLatestRecency(t *testing.T) {
+	const records = 100
+	s, err := NewScenario("d", ScenarioConfig{Records: records, Ops: 20000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := drainScenario(t, s)[records:]
+	count := records
+	recent, reads := 0, 0
+	for _, op := range ops {
+		switch op.Kind {
+		case OpPut:
+			count++
+		case OpGet:
+			reads++
+			if keyNum(t, op.Key) >= count-10 {
+				recent++
+			}
+		}
+	}
+	// The zipfian over recency ranks puts ~56% of mass on the newest 10 of
+	// 100 keys (H_10/H_100 at θ=0.99); assert well above the uniform 10%.
+	if frac := float64(recent) / float64(reads); frac < 0.4 {
+		t.Fatalf("only %.1f%% of reads hit the 10 newest keys; read-latest skew missing",
+			frac*100)
+	}
+}
+
+// TestScenarioHotspotShiftBoundary pins the shift semantics at the exact
+// instant: with a steady 20µs arrival spacing and a shift at 100µs, ops
+// stamped before 100µs use the original mapping and the op stamped exactly
+// 100µs is already rotated.
+func TestScenarioHotspotShiftBoundary(t *testing.T) {
+	const (
+		records = 100
+		rot     = 37
+	)
+	shiftAt := sim.Time(100 * sim.Microsecond)
+	base := ScenarioConfig{
+		Records: records, Ops: 50, Seed: 21,
+		Arrival: ArrivalConfig{Rate: 50000}, // exact 20µs spacing
+	}
+	shifted := base
+	shifted.Shifts = HotShifts{{At: shiftAt, Rotate: rot}}
+	plain, err := NewScenario("c", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := NewScenario("c", shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opsP := drainScenario(t, plain)[records:]
+	opsM := drainScenario(t, moved)[records:]
+	crossed := false
+	for i := range opsP {
+		if opsP[i].At != opsM[i].At {
+			t.Fatalf("op %d: arrival stamps diverge (%v vs %v)", i, opsP[i].At, opsM[i].At)
+		}
+		want := keyNum(t, opsP[i].Key)
+		if opsP[i].At >= shiftAt {
+			crossed = true
+			want = (want + rot) % records
+		}
+		if got := keyNum(t, opsM[i].Key); got != want {
+			t.Fatalf("op %d at %v: key %d, want %d (shift at %v)",
+				i, opsM[i].At, got, want, shiftAt)
+		}
+	}
+	if !crossed {
+		t.Fatal("no op arrived at or after the shift instant; test misconfigured")
+	}
+}
